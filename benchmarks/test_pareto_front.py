@@ -1,0 +1,42 @@
+"""Pareto-optimal design choices (paper abstract / Section I-B).
+
+Projects the CONV2 design space onto the (energy, latency) plane and
+extracts the pareto front; DRMap design points must populate it.
+"""
+
+from repro.core.pareto import pareto_front, points_from_dse
+from repro.core.report import format_table
+from repro.dram.architecture import DRAMArchitecture
+from repro.mapping.catalog import DRMAP
+
+
+def test_pareto_front(alexnet_dse, benchmark):
+    points = alexnet_dse["CONV2"].filtered(
+        architecture=DRAMArchitecture.SALP_MASA)
+    objective_points = points_from_dse(points)
+    front = benchmark(pareto_front, objective_points)
+
+    rows = []
+    for objective in front[:12]:
+        point = objective.payload
+        rows.append([
+            point.policy.name, point.scheme.value,
+            f"th{point.tiling.th}/tw{point.tiling.tw}"
+            f"/tj{point.tiling.tj}/ti{point.tiling.ti}",
+            f"{objective.energy_nj:.3e}",
+            f"{objective.latency_ns:.3e}",
+        ])
+    print()
+    print(format_table(
+        ["mapping", "schedule", "tiling", "energy nJ", "latency ns"],
+        rows,
+        title="Pareto front of the CONV2 design space (SALP-MASA)"))
+
+    assert front, "the front must not be empty"
+    # Every front member must be non-dominated.
+    for a in front:
+        assert not any(b.dominates(a) for b in objective_points)
+    # DRMap points appear on the front (it minimizes both objectives).
+    front_policies = {objective.payload.policy.name
+                      for objective in front}
+    assert DRMAP.name in front_policies

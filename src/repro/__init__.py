@@ -1,0 +1,98 @@
+"""repro — a reproduction of DRMap (Putra, Hanif, Shafique; DAC 2020).
+
+DRMap is a generic DRAM data mapping policy for energy-efficient CNN
+accelerators: map each data tile first across the columns of a row
+(row-buffer hits), then across banks (bank-level parallelism), then
+across subarrays (subarray-level parallelism for SALP-enabled DRAMs),
+and only last across rows.
+
+Package layout
+--------------
+``repro.dram``
+    Cycle-level DRAM model (DDR3-1600 + SALP-1/2/MASA), current-based
+    energy model, and the Fig.-1 per-condition characterization.
+``repro.mapping``
+    Mapping policies (Table I, DRMap), closed-form Eq. 2/3 access
+    counts, state-aware reference walk.
+``repro.cnn``
+    CNN layers and models (AlexNet et al.), tiling, scheduling schemes,
+    DRAM traffic model, request-trace generation.
+``repro.core``
+    Analytical EDP model, the Algorithm-1 design space exploration,
+    pareto utilities, reporting.
+``repro.accelerator``
+    Table-II accelerator configuration, buffer and compute models.
+
+Quickstart
+----------
+>>> from repro import quick_layer_edp
+>>> from repro.cnn import alexnet
+>>> from repro.mapping import DRMAP
+>>> from repro.dram import DRAMArchitecture
+>>> layer = alexnet()[0]
+>>> result = quick_layer_edp(layer, DRMAP, DRAMArchitecture.SALP_MASA)
+>>> result.edp_js > 0
+True
+"""
+
+from __future__ import annotations
+
+from .cnn.layer import ConvLayer
+from .cnn.scheduling import ReuseScheme
+from .cnn.tiling import TilingConfig
+from .core.edp import LayerEDP
+from .dram.architecture import DRAMArchitecture
+from .errors import (
+    CapacityError,
+    ConfigurationError,
+    DseError,
+    MappingError,
+    ReproError,
+    SchedulingError,
+)
+from .mapping.policy import MappingPolicy
+
+__version__ = "1.0.0"
+
+
+def quick_layer_edp(
+    layer: ConvLayer,
+    policy: MappingPolicy,
+    architecture: DRAMArchitecture = DRAMArchitecture.DDR3,
+    scheme: ReuseScheme = ReuseScheme.ADAPTIVE_REUSE,
+    tiling: TilingConfig = None,
+) -> LayerEDP:
+    """One-call EDP estimate for a layer with sensible defaults.
+
+    Uses the Table-II buffers and, unless a tiling is given, the
+    buffer-maximal tiling with the lowest EDP.
+    """
+    from .cnn.tiling import enumerate_tilings
+    from .core.edp import layer_edp
+
+    if tiling is not None:
+        return layer_edp(layer, tiling, scheme, policy, architecture)
+    best = None
+    for candidate in enumerate_tilings(layer):
+        result = layer_edp(layer, candidate, scheme, policy, architecture)
+        if best is None or result.edp_js < best.edp_js:
+            best = result
+    return best
+
+
+__all__ = [
+    "CapacityError",
+    "ConfigurationError",
+    "ConvLayer",
+    "DRAMArchitecture",
+    "DseError",
+    "LayerEDP",
+    "MappingError",
+    "MappingPolicy",
+    "ReproError",
+    "ReuseScheme",
+    "SchedulingError",
+    "TilingConfig",
+    "quick_layer_edp",
+    "__version__",
+]

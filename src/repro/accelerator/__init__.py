@@ -1,0 +1,15 @@
+"""Accelerator substrate: Table-II configuration, buffers, compute."""
+
+from .buffers import BufferSet, OnChipBuffer
+from .compute import ComputeEstimate, compute_cycles, is_memory_bound
+from .config import AcceleratorConfig, TABLE2_ACCELERATOR
+
+__all__ = [
+    "AcceleratorConfig",
+    "BufferSet",
+    "ComputeEstimate",
+    "OnChipBuffer",
+    "TABLE2_ACCELERATOR",
+    "compute_cycles",
+    "is_memory_bound",
+]

@@ -1,0 +1,73 @@
+"""MAC-array compute latency model.
+
+The paper's EDP metric covers DRAM accesses only, but judging whether
+a layer is memory- or compute-bound needs the compute side too.  The
+model is a dense systolic estimate: one MAC per unit per cycle at full
+utilization, with array-edge underutilization when the tile does not
+fill the 8x8 grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cnn.layer import ConvLayer
+from ..units import ceil_div
+from .config import AcceleratorConfig, TABLE2_ACCELERATOR
+
+
+@dataclass(frozen=True)
+class ComputeEstimate:
+    """Compute-side latency estimate for one layer."""
+
+    layer_name: str
+    macs: int
+    cycles: int
+    clock_ghz: float
+
+    @property
+    def latency_ns(self) -> float:
+        """Compute latency in nanoseconds."""
+        return self.cycles / self.clock_ghz
+
+    def utilization(self, array_macs: int) -> float:
+        """Achieved fraction of peak throughput for an array of
+        ``array_macs`` units."""
+        if self.cycles == 0:
+            return 0.0
+        return self.macs / (self.cycles * array_macs)
+
+
+def compute_cycles(
+    layer: ConvLayer,
+    config: AcceleratorConfig = TABLE2_ACCELERATOR,
+) -> ComputeEstimate:
+    """Cycles for one layer on the MAC array.
+
+    The array maps ``mac_rows`` input channels against ``mac_cols``
+    output channels per cycle (TPU-style weight-stationary dataflow);
+    spatial positions and kernel taps stream through time.
+    """
+    rows = config.mac_rows
+    cols = config.mac_cols
+    channel_steps = (ceil_div(layer.in_channels_per_group, rows)
+                     * ceil_div(layer.out_channels_per_group, cols))
+    spatial_steps = (layer.out_height * layer.out_width
+                     * layer.kernel_height * layer.kernel_width)
+    cycles = channel_steps * spatial_steps * layer.groups * layer.batch
+    return ComputeEstimate(
+        layer_name=layer.name,
+        macs=layer.macs,
+        cycles=cycles,
+        clock_ghz=config.clock_ghz,
+    )
+
+
+def is_memory_bound(
+    layer: ConvLayer,
+    dram_latency_ns: float,
+    config: AcceleratorConfig = TABLE2_ACCELERATOR,
+) -> bool:
+    """True when DRAM access time exceeds compute time for the layer."""
+    estimate = compute_cycles(layer, config)
+    return dram_latency_ns > estimate.latency_ns

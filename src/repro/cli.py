@@ -1,0 +1,208 @@
+"""Command-line interface for the DRMap reproduction.
+
+Usage::
+
+    python -m repro characterize [--arch DDR3]
+    python -m repro edp --model alexnet --layer CONV2 [--mapping 3]
+    python -m repro dse --model alexnet [--arch SALP-MASA] [--layer FC6]
+    python -m repro traffic --model alexnet
+    python -m repro models
+
+Each subcommand prints the same plain-text tables the benchmark
+harness produces, so the paper's experiments are reachable without
+writing any Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .cnn.models import MODEL_REGISTRY, model_by_name
+from .cnn.scheduling import ALL_SCHEMES, CONCRETE_SCHEMES, ReuseScheme
+from .cnn.tiling import enumerate_tilings
+from .cnn.traffic import layer_traffic
+from .core.dse import explore_layer
+from .core.report import format_table
+from .dram.architecture import ALL_ARCHITECTURES, DRAMArchitecture
+from .dram.characterize import characterize_preset
+from .mapping.catalog import TABLE1_MAPPINGS, mapping_by_index
+from .units import format_bytes
+
+
+def _architecture(name: str) -> DRAMArchitecture:
+    try:
+        return DRAMArchitecture(name)
+    except ValueError:
+        choices = ", ".join(a.value for a in DRAMArchitecture)
+        raise SystemExit(
+            f"unknown architecture {name!r}; choose from: {choices}")
+
+
+def _layers(model: str, layer: Optional[str]):
+    layers = model_by_name(model)
+    if layer is None:
+        return layers
+    matching = [l for l in layers if l.name == layer]
+    if not matching:
+        names = ", ".join(l.name for l in layers)
+        raise SystemExit(
+            f"model {model!r} has no layer {layer!r}; layers: {names}")
+    return matching
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    """Print the Fig.-1 per-condition costs."""
+    architectures = ([_architecture(args.arch)] if args.arch
+                     else list(ALL_ARCHITECTURES))
+    rows = []
+    for architecture in architectures:
+        result = characterize_preset(architecture)
+        for name, cycles, read_nj, write_nj in result.rows():
+            rows.append([architecture.value, name, f"{cycles:.1f}",
+                         f"{read_nj:.2f}", f"{write_nj:.2f}"])
+    print(format_table(
+        ["architecture", "condition", "cycles", "read nJ", "write nJ"],
+        rows, title="Per-access DRAM costs (paper Fig. 1)"))
+    return 0
+
+
+def cmd_edp(args: argparse.Namespace) -> int:
+    """Per-mapping EDP for one layer (best tiling each)."""
+    architecture = _architecture(args.arch)
+    scheme = ReuseScheme(args.scheme)
+    policies = ([mapping_by_index(args.mapping)] if args.mapping
+                else list(TABLE1_MAPPINGS))
+    for layer in _layers(args.model, args.layer):
+        result = explore_layer(
+            layer, architectures=(architecture,), schemes=(scheme,),
+            policies=policies)
+        rows = []
+        for policy in policies:
+            best = result.best(policy=policy)
+            rows.append([
+                policy.name,
+                f"{best.result.energy_nj * 1e-6:.4f}",
+                f"{best.result.latency_ns * 1e-6:.4f}",
+                f"{best.edp_js:.3e}",
+            ])
+        print(format_table(
+            ["mapping", "energy [mJ]", "latency [ms]", "EDP [J*s]"],
+            rows,
+            title=f"{layer.name} on {architecture.value}, "
+                  f"{scheme.value} (best tiling per mapping)"))
+        print()
+    return 0
+
+
+def cmd_dse(args: argparse.Namespace) -> int:
+    """Algorithm 1: min-EDP design point per layer."""
+    architecture = _architecture(args.arch)
+    rows = []
+    total = 0.0
+    for layer in _layers(args.model, args.layer):
+        result = explore_layer(layer, architectures=(architecture,))
+        best = result.best()
+        total += best.edp_js
+        tiling = best.tiling
+        rows.append([
+            layer.name, best.policy.name,
+            best.result.resolved_scheme.value,
+            f"{tiling.th}/{tiling.tw}/{tiling.tj}/{tiling.ti}",
+            f"{best.edp_js:.3e}",
+        ])
+    rows.append(["TOTAL", "", "", "", f"{total:.3e}"])
+    print(format_table(
+        ["layer", "mapping", "schedule", "tiling Th/Tw/Tj/Ti",
+         "min EDP [J*s]"],
+        rows, title=f"Algorithm 1 on {architecture.value}"))
+    return 0
+
+
+def cmd_traffic(args: argparse.Namespace) -> int:
+    """DRAM traffic per scheduling scheme for each layer."""
+    rows = []
+    for layer in _layers(args.model, args.layer):
+        tiling = enumerate_tilings(layer)[0]
+        row = [layer.name]
+        for scheme in CONCRETE_SCHEMES:
+            traffic = layer_traffic(layer, tiling, scheme)
+            row.append(format_bytes(traffic.total_bytes))
+        rows.append(row)
+    print(format_table(
+        ["layer"] + [s.value for s in CONCRETE_SCHEMES],
+        rows, title=f"DRAM traffic of {args.model}"))
+    return 0
+
+
+def cmd_models(args: argparse.Namespace) -> int:
+    """List the registered models and their layers."""
+    del args
+    rows = []
+    for name in sorted(MODEL_REGISTRY):
+        layers = model_by_name(name)
+        weights = sum(l.wghs_bytes for l in layers)
+        rows.append([name, str(len(layers)), format_bytes(weights)])
+    print(format_table(
+        ["model", "layers", "weights"], rows, title="Registered models"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DRMap reproduction command-line interface")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p_char = subparsers.add_parser(
+        "characterize", help="print the Fig.-1 per-condition costs")
+    p_char.add_argument("--arch", default=None,
+                        help="one architecture (default: all four)")
+    p_char.set_defaults(func=cmd_characterize)
+
+    p_edp = subparsers.add_parser(
+        "edp", help="per-mapping EDP for one layer")
+    p_edp.add_argument("--model", default="alexnet",
+                       choices=sorted(MODEL_REGISTRY))
+    p_edp.add_argument("--layer", default=None)
+    p_edp.add_argument("--arch", default="DDR3")
+    p_edp.add_argument("--scheme", default="adaptive-reuse",
+                       choices=[s.value for s in ALL_SCHEMES])
+    p_edp.add_argument("--mapping", type=int, default=None,
+                       choices=range(1, 7),
+                       help="Table-I index (default: all six)")
+    p_edp.set_defaults(func=cmd_edp)
+
+    p_dse = subparsers.add_parser(
+        "dse", help="Algorithm 1: min-EDP design point per layer")
+    p_dse.add_argument("--model", default="alexnet",
+                       choices=sorted(MODEL_REGISTRY))
+    p_dse.add_argument("--layer", default=None)
+    p_dse.add_argument("--arch", default="DDR3")
+    p_dse.set_defaults(func=cmd_dse)
+
+    p_traffic = subparsers.add_parser(
+        "traffic", help="DRAM traffic per scheduling scheme")
+    p_traffic.add_argument("--model", default="alexnet",
+                           choices=sorted(MODEL_REGISTRY))
+    p_traffic.add_argument("--layer", default=None)
+    p_traffic.set_defaults(func=cmd_traffic)
+
+    p_models = subparsers.add_parser(
+        "models", help="list registered models")
+    p_models.set_defaults(func=cmd_models)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

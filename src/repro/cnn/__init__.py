@@ -1,0 +1,69 @@
+"""CNN substrate: layer geometry, models, tiling, scheduling, traffic."""
+
+from .layer import ConvLayer
+from .models import (
+    MODEL_REGISTRY,
+    alexnet,
+    lenet5,
+    mobilenet_v1,
+    model_by_name,
+    resnet18_convs,
+    tiny_test_network,
+    vgg16,
+)
+from .scheduling import (
+    ALL_SCHEMES,
+    CONCRETE_SCHEMES,
+    DEPENDENCIES,
+    LoopVar,
+    ReuseScheme,
+    loop_order,
+)
+from .tiling import (
+    BufferConfig,
+    TABLE2_BUFFERS,
+    TilingConfig,
+    enumerate_tilings,
+)
+from .traffic import (
+    DataTypeTraffic,
+    LayerTraffic,
+    best_concrete_scheme,
+    layer_traffic,
+)
+from .trace import (
+    RegionLayout,
+    build_layout,
+    generate_layer_trace,
+    trace_summary,
+)
+
+__all__ = [
+    "ALL_SCHEMES",
+    "BufferConfig",
+    "CONCRETE_SCHEMES",
+    "ConvLayer",
+    "DEPENDENCIES",
+    "DataTypeTraffic",
+    "LayerTraffic",
+    "LoopVar",
+    "MODEL_REGISTRY",
+    "RegionLayout",
+    "ReuseScheme",
+    "TABLE2_BUFFERS",
+    "TilingConfig",
+    "alexnet",
+    "best_concrete_scheme",
+    "build_layout",
+    "enumerate_tilings",
+    "generate_layer_trace",
+    "layer_traffic",
+    "lenet5",
+    "loop_order",
+    "mobilenet_v1",
+    "model_by_name",
+    "resnet18_convs",
+    "tiny_test_network",
+    "trace_summary",
+    "vgg16",
+]

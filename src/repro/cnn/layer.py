@@ -1,0 +1,222 @@
+"""CNN layer geometry.
+
+Dimension names follow the paper's loop nest (Fig. 3):
+
+* ``H`` / ``W`` — height / width of the ofms,
+* ``J`` — depth (channels) of the ofms,
+* ``I`` — depth of the ifms and wghs,
+* ``P`` / ``Q`` — height / width of the wghs kernel,
+* ``B`` — batch size.
+
+Grouped convolutions (AlexNet CONV2/4/5) are modelled as ``groups``
+independent convolutions with ``I/groups`` input and ``J/groups``
+output channels processed back to back; all volume and MAC properties
+account for this.  Fully-connected layers are 1x1 convolutions on a
+1x1 feature map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """One convolutional (or fully-connected) layer.
+
+    Parameters
+    ----------
+    name:
+        Layer label used in reports (e.g. ``"CONV1"``).
+    out_height / out_width:
+        Spatial size of the ofms (``H`` x ``W``).
+    out_channels:
+        Total ofms depth ``J`` (across all groups).
+    in_channels:
+        Total ifms depth ``I`` (across all groups).
+    kernel_height / kernel_width:
+        Weight kernel size ``P`` x ``Q``.
+    stride:
+        Convolution stride.
+    in_height / in_width:
+        Spatial size of the (unpadded) ifms actually resident in DRAM.
+    groups:
+        Grouped-convolution factor.
+    batch:
+        Batch size ``B``.
+    bytes_per_element:
+        Datum size; 1 for the int8 inference the TPU-like accelerator
+        performs.
+    """
+
+    name: str
+    out_height: int
+    out_width: int
+    out_channels: int
+    in_channels: int
+    kernel_height: int
+    kernel_width: int
+    stride: int
+    in_height: int
+    in_width: int
+    groups: int = 1
+    batch: int = 1
+    bytes_per_element: int = 1
+
+    def __post_init__(self) -> None:
+        positive = (
+            "out_height", "out_width", "out_channels", "in_channels",
+            "kernel_height", "kernel_width", "stride", "in_height",
+            "in_width", "groups", "batch", "bytes_per_element",
+        )
+        for field_name in positive:
+            value = getattr(self, field_name)
+            if not isinstance(value, int) or value <= 0:
+                raise ConfigurationError(
+                    f"{field_name} must be a positive integer, "
+                    f"got {value!r}")
+        if self.in_channels % self.groups != 0:
+            raise ConfigurationError(
+                f"in_channels ({self.in_channels}) must divide evenly "
+                f"into groups ({self.groups})")
+        if self.out_channels % self.groups != 0:
+            raise ConfigurationError(
+                f"out_channels ({self.out_channels}) must divide evenly "
+                f"into groups ({self.groups})")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def conv(
+        name: str,
+        in_shape: tuple,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        batch: int = 1,
+        bytes_per_element: int = 1,
+    ) -> "ConvLayer":
+        """Build a conv layer from its input shape.
+
+        Parameters
+        ----------
+        in_shape:
+            ``(in_channels, in_height, in_width)``.
+        kernel:
+            Square kernel size.
+        padding:
+            Zero padding on each border (affects the output size but
+            not the DRAM-resident ifms volume).
+        """
+        in_channels, in_height, in_width = in_shape
+        out_height = (in_height + 2 * padding - kernel) // stride + 1
+        out_width = (in_width + 2 * padding - kernel) // stride + 1
+        return ConvLayer(
+            name=name,
+            out_height=out_height,
+            out_width=out_width,
+            out_channels=out_channels,
+            in_channels=in_channels,
+            kernel_height=kernel,
+            kernel_width=kernel,
+            stride=stride,
+            in_height=in_height,
+            in_width=in_width,
+            groups=groups,
+            batch=batch,
+            bytes_per_element=bytes_per_element,
+        )
+
+    @staticmethod
+    def fully_connected(
+        name: str,
+        in_features: int,
+        out_features: int,
+        batch: int = 1,
+        bytes_per_element: int = 1,
+    ) -> "ConvLayer":
+        """Build a fully-connected layer as a 1x1 convolution."""
+        return ConvLayer(
+            name=name,
+            out_height=1,
+            out_width=1,
+            out_channels=out_features,
+            in_channels=in_features,
+            kernel_height=1,
+            kernel_width=1,
+            stride=1,
+            in_height=1,
+            in_width=1,
+            batch=batch,
+            bytes_per_element=bytes_per_element,
+        )
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def is_fully_connected(self) -> bool:
+        """True for 1x1 layers on 1x1 feature maps."""
+        return (self.out_height == 1 and self.out_width == 1
+                and self.kernel_height == 1 and self.kernel_width == 1)
+
+    @property
+    def in_channels_per_group(self) -> int:
+        """ifms depth seen by each group."""
+        return self.in_channels // self.groups
+
+    @property
+    def out_channels_per_group(self) -> int:
+        """ofms depth produced by each group."""
+        return self.out_channels // self.groups
+
+    @property
+    def ifms_bytes(self) -> int:
+        """DRAM-resident ifms volume in bytes."""
+        return (self.batch * self.in_channels * self.in_height
+                * self.in_width * self.bytes_per_element)
+
+    @property
+    def wghs_bytes(self) -> int:
+        """Weight volume in bytes (grouped kernels counted once)."""
+        return (self.out_channels * self.in_channels_per_group
+                * self.kernel_height * self.kernel_width
+                * self.bytes_per_element)
+
+    @property
+    def ofms_bytes(self) -> int:
+        """ofms volume in bytes."""
+        return (self.batch * self.out_channels * self.out_height
+                * self.out_width * self.bytes_per_element)
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of all three data-type volumes."""
+        return self.ifms_bytes + self.wghs_bytes + self.ofms_bytes
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations for one inference."""
+        return (self.batch * self.out_height * self.out_width
+                * self.out_channels * self.in_channels_per_group
+                * self.kernel_height * self.kernel_width)
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        if self.is_fully_connected:
+            return (f"{self.name}: FC {self.in_channels} -> "
+                    f"{self.out_channels}")
+        return (
+            f"{self.name}: ifms {self.in_channels}x{self.in_height}x"
+            f"{self.in_width} -> ofms {self.out_channels}x"
+            f"{self.out_height}x{self.out_width}, kernel "
+            f"{self.kernel_height}x{self.kernel_width}/s{self.stride}"
+            + (f", groups={self.groups}" if self.groups > 1 else "")
+        )

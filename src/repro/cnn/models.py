@@ -1,0 +1,197 @@
+"""Network model zoo.
+
+The paper evaluates AlexNet on ImageNet (Section IV); the exact layer
+geometry (including the historical two-group convolutions) is
+reproduced here.  VGG-16, LeNet-5 and a miniature test network are
+included so downstream users (and the ablation benchmarks) can run the
+DSE on other workloads.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .layer import ConvLayer
+
+
+def alexnet(batch: int = 1, bytes_per_element: int = 1) -> List[ConvLayer]:
+    """AlexNet (Krizhevsky et al., NIPS 2012) for 227x227 ImageNet.
+
+    Layer shapes follow the original two-GPU implementation: CONV2,
+    CONV4 and CONV5 are grouped with ``groups=2``.  Pooling layers move
+    no DRAM weights and are folded into the inter-layer feature-map
+    shapes, as the paper's DRAM study does.
+    """
+    conv = ConvLayer.conv
+    fc = ConvLayer.fully_connected
+    kwargs = {"batch": batch, "bytes_per_element": bytes_per_element}
+    return [
+        conv("CONV1", (3, 227, 227), 96, kernel=11, stride=4, **kwargs),
+        conv("CONV2", (96, 27, 27), 256, kernel=5, padding=2, groups=2,
+             **kwargs),
+        conv("CONV3", (256, 13, 13), 384, kernel=3, padding=1, **kwargs),
+        conv("CONV4", (384, 13, 13), 384, kernel=3, padding=1, groups=2,
+             **kwargs),
+        conv("CONV5", (384, 13, 13), 256, kernel=3, padding=1, groups=2,
+             **kwargs),
+        fc("FC6", 256 * 6 * 6, 4096, **kwargs),
+        fc("FC7", 4096, 4096, **kwargs),
+        fc("FC8", 4096, 1000, **kwargs),
+    ]
+
+
+def vgg16(batch: int = 1, bytes_per_element: int = 1) -> List[ConvLayer]:
+    """VGG-16 (Simonyan & Zisserman) for 224x224 ImageNet."""
+    conv = ConvLayer.conv
+    fc = ConvLayer.fully_connected
+    kwargs = {"batch": batch, "bytes_per_element": bytes_per_element}
+    layers: List[ConvLayer] = []
+    shapes = [
+        # (name, in_shape, out_channels)
+        ("CONV1_1", (3, 224, 224), 64),
+        ("CONV1_2", (64, 224, 224), 64),
+        ("CONV2_1", (64, 112, 112), 128),
+        ("CONV2_2", (128, 112, 112), 128),
+        ("CONV3_1", (128, 56, 56), 256),
+        ("CONV3_2", (256, 56, 56), 256),
+        ("CONV3_3", (256, 56, 56), 256),
+        ("CONV4_1", (256, 28, 28), 512),
+        ("CONV4_2", (512, 28, 28), 512),
+        ("CONV4_3", (512, 28, 28), 512),
+        ("CONV5_1", (512, 14, 14), 512),
+        ("CONV5_2", (512, 14, 14), 512),
+        ("CONV5_3", (512, 14, 14), 512),
+    ]
+    for name, in_shape, out_channels in shapes:
+        layers.append(conv(name, in_shape, out_channels, kernel=3,
+                           padding=1, **kwargs))
+    layers.append(fc("FC6", 512 * 7 * 7, 4096, **kwargs))
+    layers.append(fc("FC7", 4096, 4096, **kwargs))
+    layers.append(fc("FC8", 4096, 1000, **kwargs))
+    return layers
+
+
+def lenet5(batch: int = 1, bytes_per_element: int = 1) -> List[ConvLayer]:
+    """LeNet-5 for 32x32 MNIST-style input (a small smoke workload)."""
+    conv = ConvLayer.conv
+    fc = ConvLayer.fully_connected
+    kwargs = {"batch": batch, "bytes_per_element": bytes_per_element}
+    return [
+        conv("C1", (1, 32, 32), 6, kernel=5, **kwargs),
+        conv("C3", (6, 14, 14), 16, kernel=5, **kwargs),
+        conv("C5", (16, 5, 5), 120, kernel=5, **kwargs),
+        fc("F6", 120, 84, **kwargs),
+        fc("OUTPUT", 84, 10, **kwargs),
+    ]
+
+
+def resnet18_convs(batch: int = 1, bytes_per_element: int = 1
+                   ) -> List[ConvLayer]:
+    """The convolutional backbone of ResNet-18 (224x224 input).
+
+    Downsampling 1x1 projection shortcuts are included; the residual
+    adds themselves move no DRAM weights and are omitted, as are
+    batch-norm parameters (negligible next to conv weights).
+    """
+    conv = ConvLayer.conv
+    fc = ConvLayer.fully_connected
+    kwargs = {"batch": batch, "bytes_per_element": bytes_per_element}
+    layers: List[ConvLayer] = [
+        conv("CONV1", (3, 224, 224), 64, kernel=7, stride=2, padding=3,
+             **kwargs),
+    ]
+    stages = [
+        # (name, channels, spatial, first_stride)
+        ("LAYER1", 64, 56, 1),
+        ("LAYER2", 128, 28, 2),
+        ("LAYER3", 256, 14, 2),
+        ("LAYER4", 512, 7, 2),
+    ]
+    in_channels = 64
+    in_spatial = 56
+    for name, channels, spatial, first_stride in stages:
+        layers.append(conv(
+            f"{name}_B1_CONV1", (in_channels, in_spatial, in_spatial),
+            channels, kernel=3, stride=first_stride, padding=1, **kwargs))
+        layers.append(conv(
+            f"{name}_B1_CONV2", (channels, spatial, spatial),
+            channels, kernel=3, padding=1, **kwargs))
+        if first_stride != 1 or in_channels != channels:
+            layers.append(conv(
+                f"{name}_B1_PROJ", (in_channels, in_spatial, in_spatial),
+                channels, kernel=1, stride=first_stride, **kwargs))
+        layers.append(conv(
+            f"{name}_B2_CONV1", (channels, spatial, spatial),
+            channels, kernel=3, padding=1, **kwargs))
+        layers.append(conv(
+            f"{name}_B2_CONV2", (channels, spatial, spatial),
+            channels, kernel=3, padding=1, **kwargs))
+        in_channels = channels
+        in_spatial = spatial
+    layers.append(fc("FC", 512, 1000, **kwargs))
+    return layers
+
+
+def mobilenet_v1(batch: int = 1, bytes_per_element: int = 1
+                 ) -> List[ConvLayer]:
+    """MobileNetV1 (224x224, width 1.0).
+
+    Depthwise separable convolutions exercise the grouped-conv path in
+    its extreme form: the depthwise stage has ``groups == channels``.
+    """
+    conv = ConvLayer.conv
+    fc = ConvLayer.fully_connected
+    kwargs = {"batch": batch, "bytes_per_element": bytes_per_element}
+    layers: List[ConvLayer] = [
+        conv("CONV1", (3, 224, 224), 32, kernel=3, stride=2, padding=1,
+             **kwargs),
+    ]
+    # (in_channels, out_channels, spatial_in, stride) per separable block
+    blocks = [
+        (32, 64, 112, 1), (64, 128, 112, 2), (128, 128, 56, 1),
+        (128, 256, 56, 2), (256, 256, 28, 1), (256, 512, 28, 2),
+        (512, 512, 14, 1), (512, 512, 14, 1), (512, 512, 14, 1),
+        (512, 512, 14, 1), (512, 512, 14, 1), (512, 1024, 14, 2),
+        (1024, 1024, 7, 1),
+    ]
+    for index, (cin, cout, spatial, stride) in enumerate(blocks, start=1):
+        layers.append(conv(
+            f"DW{index}", (cin, spatial, spatial), cin, kernel=3,
+            stride=stride, padding=1, groups=cin, **kwargs))
+        out_spatial = spatial // stride
+        layers.append(conv(
+            f"PW{index}", (cin, out_spatial, out_spatial), cout,
+            kernel=1, **kwargs))
+    layers.append(fc("FC", 1024, 1000, **kwargs))
+    return layers
+
+
+def tiny_test_network(bytes_per_element: int = 1) -> List[ConvLayer]:
+    """A two-layer network small enough for trace-level simulation."""
+    conv = ConvLayer.conv
+    fc = ConvLayer.fully_connected
+    return [
+        conv("TINY_CONV", (4, 8, 8), 8, kernel=3, padding=1,
+             bytes_per_element=bytes_per_element),
+        fc("TINY_FC", 8 * 8 * 8, 16, bytes_per_element=bytes_per_element),
+    ]
+
+
+#: Registry of model constructors by name.
+MODEL_REGISTRY = {
+    "alexnet": alexnet,
+    "vgg16": vgg16,
+    "lenet5": lenet5,
+    "resnet18": resnet18_convs,
+    "mobilenetv1": mobilenet_v1,
+    "tiny": tiny_test_network,
+}
+
+
+def model_by_name(name: str, **kwargs) -> List[ConvLayer]:
+    """Instantiate a registered model by name."""
+    if name not in MODEL_REGISTRY:
+        raise KeyError(
+            f"unknown model {name!r}; available: "
+            f"{sorted(MODEL_REGISTRY)}")
+    return MODEL_REGISTRY[name](**kwargs)

@@ -1,0 +1,82 @@
+"""DRAM access scheduling schemes — paper Section III-B, step 1b.
+
+A scheduling scheme is the order of the four outer tile loops of
+Fig. 3.  The paper considers four schemes, named after the data type
+whose reuse they prioritize:
+
+* **ifms-reuse** — the ifms tile stays on chip while everything that
+  needs it streams past: the ``j`` loop is innermost.
+* **wghs-reuse** — the weight tile stays resident: the spatial loops
+  are innermost.
+* **ofms-reuse** — the ofms (partial-sum) tile stays resident until
+  complete: the ``i`` loop is innermost (output-stationary).
+* **adaptive-reuse** — per layer, whichever of the three moves the
+  fewest DRAM bytes (the SmartShuttle [14] idea).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+
+class LoopVar(enum.Enum):
+    """Outer tile-loop variables of the Fig.-3 loop nest."""
+
+    H = "h"
+    W = "w"
+    J = "j"
+    I = "i"  # noqa: E741 - the paper's name for the ifms-depth loop
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class ReuseScheme(enum.Enum):
+    """The four scheduling schemes of the paper."""
+
+    IFMS_REUSE = "ifms-reuse"
+    WGHS_REUSE = "wghs-reuse"
+    OFMS_REUSE = "ofms-reuse"
+    ADAPTIVE_REUSE = "adaptive-reuse"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Loop order (outermost first) realizing each concrete scheme.
+_LOOP_ORDERS = {
+    ReuseScheme.IFMS_REUSE: (LoopVar.H, LoopVar.W, LoopVar.I, LoopVar.J),
+    ReuseScheme.WGHS_REUSE: (LoopVar.J, LoopVar.I, LoopVar.H, LoopVar.W),
+    ReuseScheme.OFMS_REUSE: (LoopVar.H, LoopVar.W, LoopVar.J, LoopVar.I),
+}
+
+#: Loops each data type's tile address depends on.
+DEPENDENCIES = {
+    "ifms": frozenset({LoopVar.H, LoopVar.W, LoopVar.I}),
+    "wghs": frozenset({LoopVar.J, LoopVar.I}),
+    "ofms": frozenset({LoopVar.H, LoopVar.W, LoopVar.J}),
+}
+
+#: The three concrete (non-adaptive) schemes.
+CONCRETE_SCHEMES = (
+    ReuseScheme.IFMS_REUSE,
+    ReuseScheme.WGHS_REUSE,
+    ReuseScheme.OFMS_REUSE,
+)
+
+#: All four schemes in the paper's Fig.-9 order.
+ALL_SCHEMES = CONCRETE_SCHEMES + (ReuseScheme.ADAPTIVE_REUSE,)
+
+
+def loop_order(scheme: ReuseScheme) -> Tuple[LoopVar, ...]:
+    """Outer-loop order (outermost first) of a concrete scheme.
+
+    ``ADAPTIVE_REUSE`` has no fixed order -- resolve it per layer with
+    :func:`repro.core.adaptive.resolve_adaptive` first.
+    """
+    if scheme is ReuseScheme.ADAPTIVE_REUSE:
+        raise ValueError(
+            "adaptive-reuse resolves to a concrete scheme per layer; "
+            "use repro.core.adaptive.resolve_adaptive")
+    return _LOOP_ORDERS[scheme]

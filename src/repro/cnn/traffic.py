@@ -1,0 +1,168 @@
+"""DRAM traffic model: tile fetch counts per data type.
+
+Given a layer, a tiling and a loop order, this module computes how many
+times each data-type tile crosses the DRAM boundary -- the quantity the
+scheduling schemes trade against each other, and the multiplier the EDP
+model applies to per-tile access costs.
+
+The rule (standard loop-nest reuse analysis, cf. SmartShuttle [14]):
+with one buffer-resident tile per data type, the tile of type ``T`` is
+(re)loaded at every iteration of the *innermost loop T depends on*;
+its total fetch count is the product of the trip counts of that loop
+and every loop outside it.  ofms tiles additionally pay partial-sum
+traffic: every visit writes the tile back, and every visit after the
+first reads it back in (when the ``i`` loop sits outside the innermost
+ofms-dependent loop, partial sums bounce through DRAM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .layer import ConvLayer
+from .scheduling import (
+    DEPENDENCIES,
+    LoopVar,
+    ReuseScheme,
+    loop_order,
+)
+from .tiling import TilingConfig
+
+
+@dataclass(frozen=True)
+class DataTypeTraffic:
+    """DRAM traffic of one data type for one layer.
+
+    Attributes
+    ----------
+    tile_bytes:
+        Bytes moved per tile fetch.
+    read_tiles:
+        Number of tile *loads* from DRAM.
+    write_tiles:
+        Number of tile *stores* to DRAM (ofms only).
+    """
+
+    tile_bytes: int
+    read_tiles: int
+    write_tiles: int = 0
+
+    @property
+    def read_bytes(self) -> int:
+        """Total bytes read."""
+        return self.tile_bytes * self.read_tiles
+
+    @property
+    def write_bytes(self) -> int:
+        """Total bytes written."""
+        return self.tile_bytes * self.write_tiles
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes moved."""
+        return self.read_bytes + self.write_bytes
+
+
+@dataclass(frozen=True)
+class LayerTraffic:
+    """DRAM traffic of all three data types for one layer."""
+
+    layer_name: str
+    ifms: DataTypeTraffic
+    wghs: DataTypeTraffic
+    ofms: DataTypeTraffic
+
+    @property
+    def total_bytes(self) -> int:
+        """Total DRAM bytes moved for the layer."""
+        return (self.ifms.total_bytes + self.wghs.total_bytes
+                + self.ofms.total_bytes)
+
+    def by_type(self) -> Dict[str, DataTypeTraffic]:
+        """Traffic keyed by data-type name."""
+        return {"ifms": self.ifms, "wghs": self.wghs, "ofms": self.ofms}
+
+
+def _trip_count_map(layer: ConvLayer, tiling: TilingConfig
+                    ) -> Dict[LoopVar, int]:
+    n_h, n_w, n_j, n_i = tiling.trip_counts(layer)
+    return {LoopVar.H: n_h, LoopVar.W: n_w, LoopVar.J: n_j, LoopVar.I: n_i}
+
+
+def _visits(order: Tuple[LoopVar, ...], trips: Dict[LoopVar, int],
+            dependencies: frozenset) -> int:
+    """Tile fetches: product of trips down to the innermost dependency."""
+    innermost_dep = max(
+        (position for position, var in enumerate(order)
+         if var in dependencies),
+        default=-1,
+    )
+    visits = 1
+    for position in range(innermost_dep + 1):
+        visits *= trips[order[position]]
+    return visits
+
+
+def layer_traffic(
+    layer: ConvLayer,
+    tiling: TilingConfig,
+    scheme: ReuseScheme,
+) -> LayerTraffic:
+    """DRAM traffic of ``layer`` under ``tiling`` and ``scheme``.
+
+    Grouped convolutions run their groups back to back; all counts are
+    scaled by ``layer.groups``.
+    """
+    order = loop_order(scheme)
+    trips = _trip_count_map(layer, tiling)
+    groups = layer.groups
+    batch = layer.batch
+
+    ifms_visits = _visits(order, trips, DEPENDENCIES["ifms"])
+    wghs_visits = _visits(order, trips, DEPENDENCIES["wghs"])
+    ofms_visits = _visits(order, trips, DEPENDENCIES["ofms"])
+    distinct_ofms = trips[LoopVar.H] * trips[LoopVar.W] * trips[LoopVar.J]
+
+    scale = groups * batch
+    ifms = DataTypeTraffic(
+        tile_bytes=tiling.ifms_tile_bytes(layer),
+        read_tiles=ifms_visits * scale,
+    )
+    wghs = DataTypeTraffic(
+        tile_bytes=tiling.wghs_tile_bytes(layer),
+        # Weights are batch-invariant, but with one resident tile they
+        # are re-streamed per image unless the batch loop is innermost;
+        # the Fig.-3 nest has the batch loop outermost, so scale by it.
+        read_tiles=wghs_visits * scale,
+    )
+    ofms = DataTypeTraffic(
+        tile_bytes=tiling.ofms_tile_bytes(layer),
+        # Every visit writes the (partial) tile back; every visit after
+        # the first must first re-load the partial sums.
+        read_tiles=(ofms_visits - distinct_ofms) * scale,
+        write_tiles=ofms_visits * scale,
+    )
+    return LayerTraffic(
+        layer_name=layer.name, ifms=ifms, wghs=wghs, ofms=ofms)
+
+
+def best_concrete_scheme(
+    layer: ConvLayer,
+    tiling: TilingConfig,
+) -> Tuple[ReuseScheme, LayerTraffic]:
+    """The concrete scheme moving the fewest DRAM bytes (adaptive-reuse).
+
+    Ties break in the paper's enumeration order (ifms, wghs, ofms).
+    """
+    from .scheduling import CONCRETE_SCHEMES
+
+    best_scheme = None
+    best_traffic = None
+    for scheme in CONCRETE_SCHEMES:
+        traffic = layer_traffic(layer, tiling, scheme)
+        if best_traffic is None \
+                or traffic.total_bytes < best_traffic.total_bytes:
+            best_scheme = scheme
+            best_traffic = traffic
+    return best_scheme, best_traffic

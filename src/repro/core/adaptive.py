@@ -1,0 +1,30 @@
+"""Adaptive-reuse scheduling (paper Section III-B, step 1b).
+
+The adaptive-reuse scheme switches the reuse priority per layer,
+picking whichever of ifms-/wghs-/ofms-reuse moves the fewest DRAM
+bytes for that layer (the SmartShuttle [14] insight the paper builds
+on).
+"""
+
+from __future__ import annotations
+
+from ..cnn.layer import ConvLayer
+from ..cnn.scheduling import ReuseScheme
+from ..cnn.tiling import TilingConfig
+from ..cnn.traffic import best_concrete_scheme
+
+
+def resolve_adaptive(
+    layer: ConvLayer,
+    tiling: TilingConfig,
+    scheme: ReuseScheme,
+) -> ReuseScheme:
+    """Resolve ``scheme`` to a concrete scheme for ``layer``.
+
+    Concrete schemes pass through unchanged; ``ADAPTIVE_REUSE`` picks
+    the minimum-traffic concrete scheme for this layer and tiling.
+    """
+    if scheme is not ReuseScheme.ADAPTIVE_REUSE:
+        return scheme
+    best, _traffic = best_concrete_scheme(layer, tiling)
+    return best

@@ -1,0 +1,108 @@
+"""Bridge between mapping-loop transitions and Fig.-1 access conditions.
+
+Eq. 2/3 multiply per-dimension access counts by per-condition costs.
+The dimension -> condition correspondence (paper Section III-C):
+
+* ``dif_column``    -> row-buffer **hit** (same open row),
+* ``dif_banks``     -> **bank-level parallelism**,
+* ``dif_subarrays`` -> **subarray-level parallelism** (whose cost is
+  architecture-dependent: a conflict on DDR3, overlapped on SALP),
+* ``dif_rows``      -> row-buffer **conflict**,
+* rank / channel wraps -> charged as bank-level parallelism (an access
+  to another rank or channel overlaps at least as well as one to
+  another bank; the Table-II configuration has a single rank, so these
+  never fire in the paper's experiments),
+* the tile-opening access -> row-buffer **conflict** (the target bank
+  almost always holds a row opened by an earlier tile).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..dram.characterize import (
+    AccessCondition,
+    CharacterizationResult,
+    ConditionCost,
+)
+from ..dram.commands import RequestKind
+from ..mapping.counts import TransitionCounts
+from ..mapping.dims import Dim
+
+#: Mapping-loop dimension -> Fig.-1 access condition.
+DIM_TO_CONDITION: Dict[Dim, AccessCondition] = {
+    Dim.COLUMN: AccessCondition.ROW_HIT,
+    Dim.BANK: AccessCondition.BANK_PARALLEL,
+    Dim.SUBARRAY: AccessCondition.SUBARRAY_PARALLEL,
+    Dim.ROW: AccessCondition.ROW_CONFLICT,
+    Dim.RANK: AccessCondition.BANK_PARALLEL,
+    Dim.CHANNEL: AccessCondition.BANK_PARALLEL,
+}
+
+#: Condition charged to the first access of each tile.
+INITIAL_ACCESS_CONDITION = AccessCondition.ROW_CONFLICT
+
+
+@dataclass(frozen=True)
+class AccessCost:
+    """Cycles and energy of one run of accesses (Eq. 2 and Eq. 3)."""
+
+    cycles: float
+    energy_nj: float
+
+    def __add__(self, other: "AccessCost") -> "AccessCost":
+        return AccessCost(
+            cycles=self.cycles + other.cycles,
+            energy_nj=self.energy_nj + other.energy_nj,
+        )
+
+    def scaled(self, factor: float) -> "AccessCost":
+        """Cost of ``factor`` identical runs."""
+        return AccessCost(
+            cycles=self.cycles * factor,
+            energy_nj=self.energy_nj * factor,
+        )
+
+
+ZERO_COST = AccessCost(cycles=0.0, energy_nj=0.0)
+
+
+def condition_counts(counts: TransitionCounts
+                     ) -> Dict[AccessCondition, int]:
+    """Collapse per-dimension counts into per-condition counts."""
+    by_condition: Dict[AccessCondition, int] = {}
+    for dim, count in counts.by_dim.items():
+        condition = DIM_TO_CONDITION[dim]
+        by_condition[condition] = by_condition.get(condition, 0) + count
+    if counts.initial:
+        by_condition[INITIAL_ACCESS_CONDITION] = \
+            by_condition.get(INITIAL_ACCESS_CONDITION, 0) + counts.initial
+    return by_condition
+
+
+def run_cost(
+    counts: TransitionCounts,
+    characterization: CharacterizationResult,
+    kind: RequestKind,
+) -> AccessCost:
+    """Eq. 2 (cycles) and Eq. 3 (energy) for one run of accesses.
+
+    Parameters
+    ----------
+    counts:
+        Transition counts of the run (one tile fetch, or a whole layer
+        accumulated).
+    characterization:
+        Fig.-1 per-condition costs of the target DRAM architecture.
+    kind:
+        Whether the run reads or writes (write bursts cost different
+        energy).
+    """
+    cycles = 0.0
+    energy = 0.0
+    for condition, count in condition_counts(counts).items():
+        cost: ConditionCost = characterization.cost(condition)
+        cycles += count * cost.cycles
+        energy += count * cost.energy_nj(kind)
+    return AccessCost(cycles=cycles, energy_nj=energy)

@@ -1,0 +1,196 @@
+"""Design space exploration — paper Algorithm 1 and Fig. 7.
+
+For each layer of a network the DSE sweeps
+
+1. the candidate tile sizes (step 1a; every combination whose three
+   tiles fit the on-chip buffers),
+2. the scheduling schemes (step 1b),
+3. the DRAM mapping policies of Table I (step 2),
+
+estimates the EDP of every admissible combination with the analytical
+model (step 3), and returns both the full exploration record and the
+minimum-EDP choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..cnn.layer import ConvLayer
+from ..cnn.scheduling import ALL_SCHEMES, ReuseScheme
+from ..cnn.tiling import (
+    BufferConfig,
+    TABLE2_BUFFERS,
+    TilingConfig,
+    enumerate_tilings,
+)
+from ..dram.architecture import ALL_ARCHITECTURES, DRAMArchitecture
+from ..dram.characterize import characterize_preset
+from ..dram.presets import DDR3_1600_2GB_X8
+from ..dram.spec import DRAMOrganization
+from ..errors import DseError
+from ..mapping.catalog import TABLE1_MAPPINGS
+from ..mapping.policy import MappingPolicy
+from .edp import LayerEDP, layer_edp
+
+
+@dataclass(frozen=True)
+class DsePoint:
+    """One evaluated design point."""
+
+    layer_name: str
+    architecture: DRAMArchitecture
+    scheme: ReuseScheme
+    policy: MappingPolicy
+    tiling: TilingConfig
+    result: LayerEDP
+
+    @property
+    def edp_js(self) -> float:
+        """EDP of the point in joule-seconds."""
+        return self.result.edp_js
+
+
+@dataclass
+class DseResult:
+    """Full exploration record for one layer (or one network layer set)."""
+
+    points: List[DsePoint] = field(default_factory=list)
+
+    def best(
+        self,
+        architecture: Optional[DRAMArchitecture] = None,
+        scheme: Optional[ReuseScheme] = None,
+        policy: Optional[MappingPolicy] = None,
+        layer_name: Optional[str] = None,
+    ) -> DsePoint:
+        """Minimum-EDP point among those matching the given filters."""
+        candidates = self.filtered(
+            architecture=architecture, scheme=scheme, policy=policy,
+            layer_name=layer_name)
+        if not candidates:
+            raise DseError("no DSE point matches the given filters")
+        return min(candidates, key=lambda point: point.edp_js)
+
+    def filtered(
+        self,
+        architecture: Optional[DRAMArchitecture] = None,
+        scheme: Optional[ReuseScheme] = None,
+        policy: Optional[MappingPolicy] = None,
+        layer_name: Optional[str] = None,
+    ) -> List[DsePoint]:
+        """Points matching all provided filters."""
+        def keep(point: DsePoint) -> bool:
+            if architecture is not None \
+                    and point.architecture is not architecture:
+                return False
+            if scheme is not None and point.scheme is not scheme:
+                return False
+            if policy is not None and point.policy != policy:
+                return False
+            if layer_name is not None and point.layer_name != layer_name:
+                return False
+            return True
+
+        return [point for point in self.points if keep(point)]
+
+    def extend(self, other: "DseResult") -> None:
+        """Merge another exploration record into this one."""
+        self.points.extend(other.points)
+
+
+def explore_layer(
+    layer: ConvLayer,
+    architectures: Sequence[DRAMArchitecture] = ALL_ARCHITECTURES,
+    schemes: Sequence[ReuseScheme] = ALL_SCHEMES,
+    policies: Sequence[MappingPolicy] = TABLE1_MAPPINGS,
+    buffers: BufferConfig = TABLE2_BUFFERS,
+    organization: DRAMOrganization = DDR3_1600_2GB_X8,
+    tilings: Optional[Iterable[TilingConfig]] = None,
+) -> DseResult:
+    """Algorithm 1 for one layer: evaluate every admissible combination.
+
+    Parameters
+    ----------
+    tilings:
+        Candidate tilings; by default the buffer-maximal power-of-two
+        grid of :func:`repro.cnn.tiling.enumerate_tilings`.
+    """
+    if tilings is None:
+        tilings = enumerate_tilings(layer, buffers)
+    tilings = list(tilings)
+    if not tilings:
+        raise DseError(f"no candidate tilings provided for {layer.name}")
+
+    result = DseResult()
+    for architecture in architectures:
+        characterization = characterize_preset(architecture)
+        for scheme in schemes:
+            for policy in policies:
+                for tiling in tilings:
+                    if not tiling.fits(layer, buffers):
+                        continue  # Algorithm 1, line 9
+                    point_result = layer_edp(
+                        layer, tiling, scheme, policy, architecture,
+                        organization=organization,
+                        characterization=characterization,
+                    )
+                    result.points.append(DsePoint(
+                        layer_name=layer.name,
+                        architecture=architecture,
+                        scheme=scheme,
+                        policy=policy,
+                        tiling=tiling,
+                        result=point_result,
+                    ))
+    if not result.points:
+        raise DseError(
+            f"no tiling of {layer.name} satisfies the buffer constraint")
+    return result
+
+
+def explore_network(
+    layers: Sequence[ConvLayer],
+    **kwargs,
+) -> DseResult:
+    """Algorithm 1 over all layers of a network."""
+    combined = DseResult()
+    for layer in layers:
+        combined.extend(explore_layer(layer, **kwargs))
+    return combined
+
+
+def best_mapping_per_layer(
+    result: DseResult,
+    architecture: DRAMArchitecture,
+    scheme: ReuseScheme,
+) -> Dict[str, DsePoint]:
+    """Algorithm 1 output: min-EDP mapping (and tiling) per layer."""
+    by_layer: Dict[str, DsePoint] = {}
+    for point in result.filtered(architecture=architecture, scheme=scheme):
+        incumbent = by_layer.get(point.layer_name)
+        if incumbent is None or point.edp_js < incumbent.edp_js:
+            by_layer[point.layer_name] = point
+    return by_layer
+
+
+def min_edp_series(
+    result: DseResult,
+    architecture: DRAMArchitecture,
+    scheme: ReuseScheme,
+    policy: MappingPolicy,
+    layer_names: Sequence[str],
+) -> Tuple[List[float], float]:
+    """Per-layer min-EDP (over tilings) for one mapping, plus the total.
+
+    This is one bar group of Fig. 9: the EDP each mapping policy
+    achieves per layer with its best admissible tiling.
+    """
+    series = []
+    for name in layer_names:
+        best = result.best(
+            architecture=architecture, scheme=scheme, policy=policy,
+            layer_name=name)
+        series.append(best.edp_js)
+    return series, sum(series)

@@ -1,0 +1,186 @@
+"""Analytical EDP model — paper Section III-C.
+
+``EDP_layer = energy_per_layer * latency_per_layer`` where both terms
+accumulate per-tile access costs (Eq. 2 and Eq. 3): for every tile
+fetch, the number of accesses hitting a different column / row /
+subarray / bank is multiplied by the per-condition cycle and energy
+costs measured on the cycle-level simulator (Fig. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..dram.characterize import (
+    CharacterizationResult,
+    characterize_preset,
+)
+from ..dram.architecture import DRAMArchitecture
+from ..dram.commands import RequestKind
+from ..dram.spec import DRAMOrganization
+from ..dram.presets import DDR3_1600_2GB_X8
+from ..cnn.layer import ConvLayer
+from ..cnn.scheduling import ReuseScheme
+from ..cnn.tiling import TilingConfig
+from ..cnn.traffic import DataTypeTraffic, LayerTraffic, layer_traffic
+from ..mapping.counts import count_transitions
+from ..mapping.policy import MappingPolicy
+from ..units import edp_joule_seconds
+from .adaptive import resolve_adaptive
+from .conditions import AccessCost, ZERO_COST, run_cost
+
+
+@dataclass(frozen=True)
+class LayerEDP:
+    """EDP result for one layer under one design point.
+
+    Attributes
+    ----------
+    layer_name:
+        Layer label.
+    energy_nj:
+        DRAM access energy per Eq. 3, accumulated over all tiles.
+    cycles:
+        DRAM access cycles per Eq. 2, accumulated over all tiles.
+    tck_ns:
+        Clock period used to convert cycles to time.
+    by_type:
+        Per-data-type cost breakdown.
+    resolved_scheme:
+        The concrete scheme used (differs from the requested scheme
+        only for adaptive-reuse).
+    """
+
+    layer_name: str
+    energy_nj: float
+    cycles: float
+    tck_ns: float
+    by_type: Dict[str, AccessCost]
+    resolved_scheme: ReuseScheme
+
+    @property
+    def latency_ns(self) -> float:
+        """DRAM access latency in nanoseconds."""
+        return self.cycles * self.tck_ns
+
+    @property
+    def edp_js(self) -> float:
+        """Energy-delay product in joule-seconds."""
+        return edp_joule_seconds(self.energy_nj, self.latency_ns)
+
+
+@dataclass(frozen=True)
+class NetworkEDP:
+    """EDP results for a whole network."""
+
+    per_layer: Dict[str, LayerEDP]
+
+    @property
+    def total_energy_nj(self) -> float:
+        """Sum of layer energies."""
+        return sum(r.energy_nj for r in self.per_layer.values())
+
+    @property
+    def total_latency_ns(self) -> float:
+        """Sum of layer latencies (layers are processed sequentially)."""
+        return sum(r.latency_ns for r in self.per_layer.values())
+
+    @property
+    def total_edp_js(self) -> float:
+        """Network EDP: sum of per-layer EDPs.
+
+        The paper optimizes per-layer EDP and reports a 'Total' bar
+        alongside the layers; we follow the per-layer sum.  See also
+        :attr:`product_edp_js` for the alternative
+        ``total_energy * total_latency`` definition.
+        """
+        return sum(r.edp_js for r in self.per_layer.values())
+
+    @property
+    def product_edp_js(self) -> float:
+        """Alternative network EDP: total energy times total latency."""
+        return edp_joule_seconds(self.total_energy_nj,
+                                 self.total_latency_ns)
+
+
+def _data_type_cost(
+    traffic: DataTypeTraffic,
+    policy: MappingPolicy,
+    organization: DRAMOrganization,
+    characterization: CharacterizationResult,
+) -> AccessCost:
+    """Eq. 2/3 cost of all fetches of one data type.
+
+    Every tile fetch is a contiguous run of ``tile_accesses`` bursts;
+    runs of the same shape have identical transition counts up to a
+    start-offset perturbation that is negligible for row-aligned tiles,
+    so one closed-form evaluation is scaled by the fetch count.
+    """
+    tile_accesses = organization.accesses_for_bytes(traffic.tile_bytes)
+    if tile_accesses == 0:
+        return ZERO_COST
+    counts = count_transitions(policy, organization, tile_accesses)
+    cost = ZERO_COST
+    if traffic.read_tiles:
+        read_cost = run_cost(counts, characterization, RequestKind.READ)
+        cost = cost + read_cost.scaled(traffic.read_tiles)
+    if traffic.write_tiles:
+        write_cost = run_cost(counts, characterization, RequestKind.WRITE)
+        cost = cost + write_cost.scaled(traffic.write_tiles)
+    return cost
+
+
+def layer_edp(
+    layer: ConvLayer,
+    tiling: TilingConfig,
+    scheme: ReuseScheme,
+    policy: MappingPolicy,
+    architecture: DRAMArchitecture,
+    organization: DRAMOrganization = DDR3_1600_2GB_X8,
+    characterization: Optional[CharacterizationResult] = None,
+) -> LayerEDP:
+    """EDP of one layer for one (tiling, scheme, mapping, architecture).
+
+    ``ADAPTIVE_REUSE`` resolves to the concrete scheme minimizing the
+    layer's DRAM traffic before costing.
+    """
+    resolved = resolve_adaptive(layer, tiling, scheme)
+    if characterization is None:
+        characterization = characterize_preset(architecture)
+    traffic: LayerTraffic = layer_traffic(layer, tiling, resolved)
+    by_type: Dict[str, AccessCost] = {}
+    total = ZERO_COST
+    for name, type_traffic in traffic.by_type().items():
+        cost = _data_type_cost(
+            type_traffic, policy, organization, characterization)
+        by_type[name] = cost
+        total = total + cost
+    return LayerEDP(
+        layer_name=layer.name,
+        energy_nj=total.energy_nj,
+        cycles=total.cycles,
+        tck_ns=characterization.tck_ns,
+        by_type=by_type,
+        resolved_scheme=resolved,
+    )
+
+
+def network_edp(
+    layers,
+    tilings: Dict[str, TilingConfig],
+    scheme: ReuseScheme,
+    policy: MappingPolicy,
+    architecture: DRAMArchitecture,
+    organization: DRAMOrganization = DDR3_1600_2GB_X8,
+) -> NetworkEDP:
+    """EDP of a whole network with per-layer tilings."""
+    characterization = characterize_preset(architecture)
+    per_layer: Dict[str, LayerEDP] = {}
+    for layer in layers:
+        per_layer[layer.name] = layer_edp(
+            layer, tilings[layer.name], scheme, policy, architecture,
+            organization=organization,
+            characterization=characterization,
+        )
+    return NetworkEDP(per_layer=per_layer)

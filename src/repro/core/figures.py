@@ -1,0 +1,116 @@
+"""ASCII rendering of the paper's figures.
+
+The benchmarks print numeric tables; these helpers additionally render
+log-scale bar charts in plain text so a terminal user can *see* the
+Fig.-1 and Fig.-9 shapes without plotting libraries (none are
+available offline).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+
+def _bar(value: float, lo: float, hi: float, width: int,
+         log_scale: bool) -> str:
+    if value <= 0:
+        return ""
+    if log_scale:
+        lo_t, hi_t, v_t = math.log10(lo), math.log10(hi), math.log10(value)
+    else:
+        lo_t, hi_t, v_t = lo, hi, value
+    if hi_t <= lo_t:
+        return "#" * width
+    fraction = (v_t - lo_t) / (hi_t - lo_t)
+    fraction = min(1.0, max(0.0, fraction))
+    filled = max(1, round(fraction * width))
+    return "#" * filled
+
+
+def bar_chart(
+    values: Dict[str, float],
+    width: int = 50,
+    log_scale: bool = False,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Render ``label -> value`` as a horizontal bar chart.
+
+    Parameters
+    ----------
+    values:
+        Bars in display order (insertion order of the dict).
+    width:
+        Maximum bar width in characters.
+    log_scale:
+        Scale bar lengths by log10 (Fig. 9 spans decades).
+    unit:
+        Suffix printed after each value.
+    title:
+        Optional chart title.
+    """
+    if not values:
+        return title
+    positives = [v for v in values.values() if v > 0]
+    if not positives:
+        raise ValueError("bar_chart needs at least one positive value")
+    lo, hi = min(positives), max(positives)
+    if log_scale:
+        # Give the smallest bar a visible baseline one decade below.
+        lo = lo / 10.0
+    label_width = max(len(label) for label in values)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in values.items():
+        bar = _bar(value, lo, hi, width, log_scale)
+        lines.append(
+            f"{label.ljust(label_width)} | {bar} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Dict[str, Dict[str, float]],
+    width: int = 40,
+    log_scale: bool = True,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Render grouped bars (one block of bars per group), sharing a
+    global scale so groups are visually comparable."""
+    all_values = [v for group in groups.values()
+                  for v in group.values() if v > 0]
+    if not all_values:
+        raise ValueError("grouped_bar_chart needs positive values")
+    lo, hi = min(all_values), max(all_values)
+    if log_scale:
+        lo = lo / 10.0
+    label_width = max(
+        len(label) for group in groups.values() for label in group)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for group_name, group in groups.items():
+        lines.append(f"[{group_name}]")
+        for label, value in group.items():
+            bar = _bar(value, lo, hi, width, log_scale)
+            lines.append(
+                f"  {label.ljust(label_width)} | {bar} "
+                f"{value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line trend of ``values`` using block characters."""
+    if not values:
+        return ""
+    blocks = "_.-~*#"
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return blocks[0] * len(values)
+    out = []
+    for value in values:
+        index = int((value - lo) / (hi - lo) * (len(blocks) - 1))
+        out.append(blocks[index])
+    return "".join(out)

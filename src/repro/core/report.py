@@ -1,0 +1,75 @@
+"""Plain-text report formatting for experiment outputs.
+
+The benchmark harness prints the same rows/series the paper's tables
+and figures report; these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..units import format_si
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width text table."""
+    columns = [list(map(str, column))
+               for column in zip(*([headers] + [list(r) for r in rows]))]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(
+            str(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_edp(value_js: float) -> str:
+    """EDP with SI prefix (J*s)."""
+    return format_si(value_js, "J*s")
+
+
+def improvement_percent(baseline: float, improved: float) -> float:
+    """Relative improvement of ``improved`` over ``baseline``, percent.
+
+    ``improvement_percent(10, 1) == 90.0``.
+    """
+    if baseline <= 0:
+        raise ValueError(
+            f"baseline must be positive, got {baseline}")
+    return (1.0 - improved / baseline) * 100.0
+
+
+def format_series(
+    label: str,
+    values: Sequence[float],
+    names: Sequence[str],
+) -> str:
+    """One figure series as ``label: name=value ...``."""
+    parts = [f"{name}={format_edp(value)}"
+             for name, value in zip(names, values)]
+    return f"{label}: " + "  ".join(parts)
+
+
+def series_table(
+    series: Dict[str, List[float]],
+    column_names: Sequence[str],
+    title: str = "",
+    formatter=format_edp,
+) -> str:
+    """Tabulate multiple named series sharing column labels."""
+    rows = [
+        [label] + [formatter(value) for value in values]
+        for label, values in series.items()
+    ]
+    return format_table(
+        headers=["series"] + list(column_names), rows=rows, title=title)

@@ -1,0 +1,178 @@
+"""Sensitivity sweeps over model parameters.
+
+The paper fixes one configuration (Table II); these utilities vary one
+parameter at a time — subarrays per bank, buffer capacity, batch size,
+data precision, DRAM speed grade — and report how the minimum EDP and
+DRMap's advantage respond.  They power the ablation benchmarks and
+give downstream users a one-call sensitivity analysis for their own
+design points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..cnn.layer import ConvLayer
+from ..cnn.scheduling import ReuseScheme
+from ..cnn.tiling import BufferConfig, TABLE2_BUFFERS, enumerate_tilings
+from ..dram.architecture import DRAMArchitecture
+from ..dram.characterize import characterize
+from ..dram.presets import DDR3_1600_2GB_X8
+from ..dram.simulator import DRAMSimulator
+from ..dram.spec import DRAMOrganization
+from ..mapping.catalog import DRMAP, MAPPING_2
+from ..mapping.policy import MappingPolicy
+from .edp import layer_edp
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a one-dimensional sensitivity sweep."""
+
+    parameter: str
+    value: object
+    drmap_edp_js: float
+    worst_edp_js: float
+
+    @property
+    def drmap_advantage(self) -> float:
+        """EDP ratio of the worst mapping to DRMap (>= 1)."""
+        if self.drmap_edp_js <= 0:
+            return float("nan")
+        return self.worst_edp_js / self.drmap_edp_js
+
+
+def _min_edp(
+    layer: ConvLayer,
+    policy: MappingPolicy,
+    architecture: DRAMArchitecture,
+    organization: DRAMOrganization,
+    buffers: BufferConfig,
+    scheme: ReuseScheme,
+) -> float:
+    simulator = DRAMSimulator(organization, architecture=architecture)
+    characterization = characterize(architecture, simulator=simulator)
+    best: Optional[float] = None
+    for tiling in enumerate_tilings(layer, buffers):
+        result = layer_edp(
+            layer, tiling, scheme, policy, architecture,
+            organization=organization,
+            characterization=characterization)
+        if best is None or result.edp_js < best:
+            best = result.edp_js
+    if best is None:
+        raise AssertionError("enumerate_tilings never returns empty")
+    return best
+
+
+def sweep_subarrays(
+    layer: ConvLayer,
+    subarray_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    architecture: DRAMArchitecture = DRAMArchitecture.SALP_MASA,
+    scheme: ReuseScheme = ReuseScheme.ADAPTIVE_REUSE,
+) -> List[SweepPoint]:
+    """EDP vs subarrays-per-bank.
+
+    More subarrays give SALP more parallelism to exploit -- and give
+    bad mappings more subarray boundaries to trip over.
+    """
+    points = []
+    for count in subarray_counts:
+        organization = DDR3_1600_2GB_X8.with_subarrays(count)
+        points.append(SweepPoint(
+            parameter="subarrays_per_bank",
+            value=count,
+            drmap_edp_js=_min_edp(
+                layer, DRMAP, architecture, organization,
+                TABLE2_BUFFERS, scheme),
+            worst_edp_js=_min_edp(
+                layer, MAPPING_2, architecture, organization,
+                TABLE2_BUFFERS, scheme),
+        ))
+    return points
+
+
+def sweep_buffers(
+    layer: ConvLayer,
+    sizes_kb: Sequence[int] = (16, 32, 64, 128, 256),
+    architecture: DRAMArchitecture = DRAMArchitecture.DDR3,
+    scheme: ReuseScheme = ReuseScheme.ADAPTIVE_REUSE,
+) -> List[SweepPoint]:
+    """EDP vs on-chip buffer capacity (all three buffers together)."""
+    points = []
+    for size_kb in sizes_kb:
+        buffers = BufferConfig(
+            ifms_bytes=size_kb * 1024,
+            wghs_bytes=size_kb * 1024,
+            ofms_bytes=size_kb * 1024,
+        )
+        points.append(SweepPoint(
+            parameter="buffer_kb",
+            value=size_kb,
+            drmap_edp_js=_min_edp(
+                layer, DRMAP, architecture, DDR3_1600_2GB_X8, buffers,
+                scheme),
+            worst_edp_js=_min_edp(
+                layer, MAPPING_2, architecture, DDR3_1600_2GB_X8,
+                buffers, scheme),
+        ))
+    return points
+
+
+def sweep_precision(
+    layer_factory: Callable[[int], ConvLayer],
+    bytes_per_element: Sequence[int] = (1, 2, 4),
+    architecture: DRAMArchitecture = DRAMArchitecture.DDR3,
+    scheme: ReuseScheme = ReuseScheme.ADAPTIVE_REUSE,
+) -> List[SweepPoint]:
+    """EDP vs data precision (int8 / fp16 / fp32 footprints).
+
+    ``layer_factory(bpe)`` must build the layer at the given precision.
+    """
+    points = []
+    for bpe in bytes_per_element:
+        layer = layer_factory(bpe)
+        points.append(SweepPoint(
+            parameter="bytes_per_element",
+            value=bpe,
+            drmap_edp_js=_min_edp(
+                layer, DRMAP, architecture, DDR3_1600_2GB_X8,
+                TABLE2_BUFFERS, scheme),
+            worst_edp_js=_min_edp(
+                layer, MAPPING_2, architecture, DDR3_1600_2GB_X8,
+                TABLE2_BUFFERS, scheme),
+        ))
+    return points
+
+
+def sweep_batch(
+    layer_factory: Callable[[int], ConvLayer],
+    batches: Sequence[int] = (1, 2, 4, 8),
+    architecture: DRAMArchitecture = DRAMArchitecture.DDR3,
+    scheme: ReuseScheme = ReuseScheme.ADAPTIVE_REUSE,
+) -> List[SweepPoint]:
+    """EDP vs batch size (activations scale, weights amortize)."""
+    points = []
+    for batch in batches:
+        layer = layer_factory(batch)
+        points.append(SweepPoint(
+            parameter="batch",
+            value=batch,
+            drmap_edp_js=_min_edp(
+                layer, DRMAP, architecture, DDR3_1600_2GB_X8,
+                TABLE2_BUFFERS, scheme),
+            worst_edp_js=_min_edp(
+                layer, MAPPING_2, architecture, DDR3_1600_2GB_X8,
+                TABLE2_BUFFERS, scheme),
+        ))
+    return points
+
+
+def sweep_table(points: List[SweepPoint]) -> List[List[str]]:
+    """Rows for :func:`repro.core.report.format_table`."""
+    return [
+        [str(p.value), f"{p.drmap_edp_js:.3e}", f"{p.worst_edp_js:.3e}",
+         f"{p.drmap_advantage:.1f}x"]
+        for p in points
+    ]

@@ -1,0 +1,97 @@
+"""DRAM substrate: geometry, timing, energy, cycle-level simulation.
+
+This package plays the role of Ramulator + VAMPIRE in the paper's tool
+flow (Fig. 8): a cycle-level command scheduler over JEDEC timing
+constraints produces command traces and per-condition service times,
+and a current-based energy model integrates those traces.
+"""
+
+from .address import Coordinate
+from .architecture import (
+    ALL_ARCHITECTURES,
+    SALP_ARCHITECTURES,
+    ArchitectureBehavior,
+    DRAMArchitecture,
+    behavior_of,
+)
+from .characterize import (
+    ALL_CONDITIONS,
+    AccessCondition,
+    CharacterizationResult,
+    ConditionCost,
+    characterize,
+    characterize_all,
+    characterize_preset,
+)
+from .commands import (
+    Command,
+    CommandKind,
+    CommandTrace,
+    Request,
+    RequestKind,
+    ServicedRequest,
+)
+from .controller import MemoryController
+from .energy import EnergyAccountant, TraceEnergy
+from .power import CurrentParameters, DDR3_1600_2GB_X8_CURRENTS, EnergyModel
+from .presets import (
+    DDR3_1600_2GB_X8,
+    SALP_2GB_X8,
+    TINY_ORGANIZATION,
+    organization_for,
+)
+from .simulator import DRAMSimulator, SimulationResult
+from .spec import DRAMOrganization
+from .timing import DDR3_1066_TIMINGS, DDR3_1600_TIMINGS, TimingParameters
+from .trace_io import (
+    address_to_request,
+    read_command_trace,
+    read_request_trace,
+    request_to_address,
+    write_command_trace,
+    write_request_trace,
+)
+
+__all__ = [
+    "ALL_ARCHITECTURES",
+    "ALL_CONDITIONS",
+    "AccessCondition",
+    "ArchitectureBehavior",
+    "CharacterizationResult",
+    "Command",
+    "CommandKind",
+    "CommandTrace",
+    "ConditionCost",
+    "Coordinate",
+    "CurrentParameters",
+    "DDR3_1066_TIMINGS",
+    "DDR3_1600_2GB_X8",
+    "DDR3_1600_2GB_X8_CURRENTS",
+    "DDR3_1600_TIMINGS",
+    "DRAMArchitecture",
+    "DRAMOrganization",
+    "DRAMSimulator",
+    "EnergyAccountant",
+    "EnergyModel",
+    "MemoryController",
+    "Request",
+    "RequestKind",
+    "SALP_2GB_X8",
+    "SALP_ARCHITECTURES",
+    "ServicedRequest",
+    "SimulationResult",
+    "TINY_ORGANIZATION",
+    "TimingParameters",
+    "TraceEnergy",
+    "address_to_request",
+    "behavior_of",
+    "characterize",
+    "characterize_all",
+    "characterize_preset",
+    "organization_for",
+    "read_command_trace",
+    "read_request_trace",
+    "request_to_address",
+    "write_command_trace",
+    "write_request_trace",
+]

@@ -1,0 +1,82 @@
+"""DRAM coordinates.
+
+A :class:`Coordinate` names one burst-sized slot in the DRAM system by
+its position in every level of the hierarchy: channel, rank, bank,
+subarray, row, column.  The ``column`` field indexes *burst slots*
+within a row (``organization.bursts_per_row`` of them), matching the
+granularity at which mapping policies place data.
+
+Chips are not part of the coordinate: all chips of a rank respond to
+the same command in lockstep (see :mod:`repro.dram.spec`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .spec import DRAMOrganization
+
+
+@dataclass(frozen=True, order=True)
+class Coordinate:
+    """Position of one burst-sized data slot in the DRAM hierarchy."""
+
+    channel: int = 0
+    rank: int = 0
+    bank: int = 0
+    subarray: int = 0
+    row: int = 0
+    column: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("channel", "rank", "bank", "subarray", "row", "column"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 0:
+                raise ConfigurationError(
+                    f"{name} must be a non-negative integer, got {value!r}")
+
+    def validate(self, organization: DRAMOrganization) -> None:
+        """Raise :class:`ConfigurationError` if out of range for ``organization``."""
+        bounds = {
+            "channel": organization.channels,
+            "rank": organization.ranks_per_channel,
+            "bank": organization.banks_per_chip,
+            "subarray": organization.subarrays_per_bank,
+            "row": organization.rows_per_subarray,
+            "column": organization.bursts_per_row,
+        }
+        for name, bound in bounds.items():
+            value = getattr(self, name)
+            if value >= bound:
+                raise ConfigurationError(
+                    f"{name}={value} out of range for organization "
+                    f"({name} bound {bound})")
+
+    @property
+    def bank_key(self) -> tuple:
+        """Identity of the bank this coordinate lives in."""
+        return (self.channel, self.rank, self.bank)
+
+    @property
+    def subarray_key(self) -> tuple:
+        """Identity of the subarray this coordinate lives in."""
+        return (self.channel, self.rank, self.bank, self.subarray)
+
+    @property
+    def bank_row(self) -> tuple:
+        """(subarray, row) pair identifying the row within its bank."""
+        return (self.subarray, self.row)
+
+    def replace(self, **fields: int) -> "Coordinate":
+        """Return a copy with ``fields`` substituted."""
+        values = {
+            "channel": self.channel, "rank": self.rank, "bank": self.bank,
+            "subarray": self.subarray, "row": self.row, "column": self.column,
+        }
+        values.update(fields)
+        return Coordinate(**values)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ch{self.channel}/ra{self.rank}/ba{self.bank}"
+                f"/sa{self.subarray}/ro{self.row}/co{self.column}")

@@ -1,0 +1,107 @@
+"""DRAM architecture variants: commodity DDR3 and the SALP family.
+
+Paper Section II-C summarizes Kim et al. (ISCA 2012):
+
+* **SALP-1** overlaps the *precharge* of one subarray with the
+  *activation* of another subarray of the same bank (re-interpreting
+  the tRP constraint to be subarray-local).
+* **SALP-2** additionally overlaps the *write-recovery* (tWR) of the
+  active subarray with the activation of another subarray.
+* **SALP-MASA** activates *multiple subarrays at the same time*: each
+  subarray's local row buffer retains its row, so returning to a
+  previously-activated subarray is a row-buffer hit.
+
+Each variant is expressed as a set of behaviour flags consumed by the
+cycle-level controller; commodity DDR3 has all flags off.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class DRAMArchitecture(enum.Enum):
+    """The four DRAM architectures evaluated in the paper."""
+
+    DDR3 = "DDR3"
+    SALP_1 = "SALP-1"
+    SALP_2 = "SALP-2"
+    SALP_MASA = "SALP-MASA"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class ArchitectureBehavior:
+    """Timing-interaction flags for one architecture.
+
+    Attributes
+    ----------
+    overlap_precharge_with_activation:
+        SALP-1..MASA: an ACT to subarray B may be issued while subarray
+        A of the same bank is still precharging (the tRP wait becomes
+        subarray-local).
+    overlap_write_recovery:
+        SALP-2, MASA: an ACT to subarray B need not wait for subarray
+        A's write recovery (tWR) to elapse.
+    multiple_activated_subarrays:
+        MASA: subarrays keep their local row buffers activated; at most
+        ``max_activated_subarrays`` concurrently per bank.
+    max_activated_subarrays:
+        Concurrent activated-subarray budget per bank under MASA (the
+        designated-activation register count).  Ignored otherwise.
+    subarray_select_cycles:
+        Extra cycles for the subarray-select (designation) step when a
+        column command targets a non-most-recently-used activated
+        subarray under MASA.  The SALP paper routes a designated-bit
+        update through the global row-address latch before the column
+        access; two memory-bus cycles cover that round trip and keep
+        MASA's subarray switches slightly above plain bank switches,
+        matching Fig. 1.
+    """
+
+    overlap_precharge_with_activation: bool = False
+    overlap_write_recovery: bool = False
+    multiple_activated_subarrays: bool = False
+    max_activated_subarrays: int = 8
+    subarray_select_cycles: int = 2
+
+
+_BEHAVIORS = {
+    DRAMArchitecture.DDR3: ArchitectureBehavior(),
+    DRAMArchitecture.SALP_1: ArchitectureBehavior(
+        overlap_precharge_with_activation=True,
+    ),
+    DRAMArchitecture.SALP_2: ArchitectureBehavior(
+        overlap_precharge_with_activation=True,
+        overlap_write_recovery=True,
+    ),
+    DRAMArchitecture.SALP_MASA: ArchitectureBehavior(
+        overlap_precharge_with_activation=True,
+        overlap_write_recovery=True,
+        multiple_activated_subarrays=True,
+    ),
+}
+
+
+def behavior_of(architecture: DRAMArchitecture) -> ArchitectureBehavior:
+    """Return the behaviour flags of ``architecture``."""
+    return _BEHAVIORS[architecture]
+
+
+#: All four architectures in the paper's presentation order.
+ALL_ARCHITECTURES = (
+    DRAMArchitecture.DDR3,
+    DRAMArchitecture.SALP_1,
+    DRAMArchitecture.SALP_2,
+    DRAMArchitecture.SALP_MASA,
+)
+
+#: Architectures with subarray-level parallelism enabled.
+SALP_ARCHITECTURES = (
+    DRAMArchitecture.SALP_1,
+    DRAMArchitecture.SALP_2,
+    DRAMArchitecture.SALP_MASA,
+)

@@ -1,0 +1,248 @@
+"""Per-condition DRAM access characterization (the paper's Fig. 1).
+
+The paper feeds Ramulator+VAMPIRE micro-experiments into the analytical
+EDP model: one (cycles, energy) pair per *access condition* per DRAM
+architecture.  The five conditions of Fig. 1 are
+
+* **row buffer hit** — the next column of an already-open row;
+* **row buffer miss** — an access to a bank with nothing open;
+* **row buffer conflict** — an access to a different row of the
+  currently-open subarray (precharge + activate + access);
+* **subarray-level parallelism** — consecutive accesses bouncing across
+  subarrays of the *same bank* (mapping-2's inner loop).  Commodity
+  DDR3 serves these as conflicts; SALP-1/2 overlap the precharge /
+  write recovery; MASA keeps all local row buffers open and serves
+  revisits as hits;
+* **bank-level parallelism** — consecutive accesses bouncing across
+  banks (activations overlap under tRRD/tFAW pacing).
+
+Hit / conflict / subarray / bank costs are measured as *steady-state
+marginal* costs: run the stream at two lengths and divide the cycle and
+energy deltas by the access-count delta.  This is the incremental cost
+one more access of that class adds to a mapped stream, which is exactly
+what Eq. 2-3 multiply by access counts.  The miss cost is measured as
+an isolated request on an idle device (a miss is a one-off event at the
+start of a tile, never a steady state).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Dict, List, Mapping
+
+from .address import Coordinate
+from .architecture import ALL_ARCHITECTURES, DRAMArchitecture
+from .commands import Request, RequestKind
+from .simulator import DRAMSimulator
+from .spec import DRAMOrganization
+
+
+class AccessCondition(enum.Enum):
+    """The five access conditions of the paper's Fig. 1."""
+
+    ROW_HIT = "row-hit"
+    ROW_MISS = "row-miss"
+    ROW_CONFLICT = "row-conflict"
+    SUBARRAY_PARALLEL = "subarray-parallel"
+    BANK_PARALLEL = "bank-parallel"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Conditions in the figure's left-to-right order.
+ALL_CONDITIONS = (
+    AccessCondition.ROW_HIT,
+    AccessCondition.ROW_MISS,
+    AccessCondition.ROW_CONFLICT,
+    AccessCondition.SUBARRAY_PARALLEL,
+    AccessCondition.BANK_PARALLEL,
+)
+
+
+@dataclass(frozen=True)
+class ConditionCost:
+    """Per-access cost of one condition."""
+
+    cycles: float
+    read_energy_nj: float
+    write_energy_nj: float
+
+    def energy_nj(self, kind: RequestKind) -> float:
+        """Energy for a read or write access of this condition."""
+        if kind is RequestKind.READ:
+            return self.read_energy_nj
+        return self.write_energy_nj
+
+
+@dataclass(frozen=True)
+class CharacterizationResult:
+    """Fig.-1 numbers for one architecture."""
+
+    architecture: DRAMArchitecture
+    costs: Mapping[AccessCondition, ConditionCost]
+    tck_ns: float
+
+    def cost(self, condition: AccessCondition) -> ConditionCost:
+        """Cost of ``condition``."""
+        return self.costs[condition]
+
+    def rows(self) -> List[tuple]:
+        """(condition, cycles, read nJ, write nJ) rows for reporting."""
+        return [
+            (condition.value, self.costs[condition].cycles,
+             self.costs[condition].read_energy_nj,
+             self.costs[condition].write_energy_nj)
+            for condition in ALL_CONDITIONS
+        ]
+
+
+# ----------------------------------------------------------------------
+# Stream generators
+# ----------------------------------------------------------------------
+
+def _hit_stream(org: DRAMOrganization, kind: RequestKind, count: int
+                ) -> List[Request]:
+    bursts = org.bursts_per_row
+    return [
+        Request(kind, Coordinate(bank=0, subarray=0, row=0, column=i % bursts))
+        for i in range(count)
+    ]
+
+
+def _conflict_stream(org: DRAMOrganization, kind: RequestKind, count: int
+                     ) -> List[Request]:
+    # Bounce between two rows of one subarray; advance the column so the
+    # addresses are all distinct.
+    bursts = org.bursts_per_row
+    return [
+        Request(kind, Coordinate(
+            bank=0, subarray=0, row=i % 2, column=(i // 2) % bursts))
+        for i in range(count)
+    ]
+
+
+def _subarray_stream(org: DRAMOrganization, kind: RequestKind, count: int
+                     ) -> List[Request]:
+    # Sweep the subarrays of bank 0, advancing the row each full sweep:
+    # every access activates a fresh row in a different subarray than
+    # the previous access.  This is the "subarray-level parallelism"
+    # case of Fig. 1 (concurrent activations under SALP/MASA; serial
+    # row conflicts on commodity DDR3).
+    num = org.subarrays_per_bank
+    rows = org.rows_per_subarray
+    return [
+        Request(kind, Coordinate(
+            bank=0, subarray=i % num, row=(i // num) % rows, column=0))
+        for i in range(count)
+    ]
+
+
+def _bank_stream(org: DRAMOrganization, kind: RequestKind, count: int
+                 ) -> List[Request]:
+    # Sweep the banks, advancing the row each full sweep so every visit
+    # needs a (cross-bank overlapped) activation -- the cost a mapping
+    # policy pays when its bank loop wraps into fresh rows.
+    num = org.banks_per_chip
+    rows = org.rows_per_subarray
+    return [
+        Request(kind, Coordinate(
+            bank=i % num, subarray=0, row=(i // num) % rows, column=0))
+        for i in range(count)
+    ]
+
+
+_STREAMS: Dict[AccessCondition, Callable] = {
+    AccessCondition.ROW_HIT: _hit_stream,
+    AccessCondition.ROW_CONFLICT: _conflict_stream,
+    AccessCondition.SUBARRAY_PARALLEL: _subarray_stream,
+    AccessCondition.BANK_PARALLEL: _bank_stream,
+}
+
+
+# ----------------------------------------------------------------------
+# Measurement
+# ----------------------------------------------------------------------
+
+def _marginal_cost(
+    simulator: DRAMSimulator,
+    stream: Callable,
+    kind: RequestKind,
+    short_count: int,
+    long_count: int,
+) -> tuple:
+    org = simulator.organization
+    short = simulator.run(stream(org, kind, short_count))
+    long = simulator.run(stream(org, kind, long_count))
+    denom = long_count - short_count
+    cycles = (long.total_cycles - short.total_cycles) / denom
+    energy = (long.total_energy_nj - short.total_energy_nj) / denom
+    return cycles, energy
+
+
+def _isolated_miss_cost(simulator: DRAMSimulator, kind: RequestKind) -> tuple:
+    request = Request(kind, Coordinate(bank=0, subarray=0, row=0, column=0))
+    result = simulator.run([request])
+    return float(result.total_cycles), result.total_energy_nj
+
+
+def characterize(
+    architecture: DRAMArchitecture,
+    simulator: DRAMSimulator = None,
+    short_count: int = 64,
+    long_count: int = 320,
+) -> CharacterizationResult:
+    """Measure the Fig.-1 per-condition costs for ``architecture``.
+
+    Parameters
+    ----------
+    architecture:
+        DRAM architecture to characterize.
+    simulator:
+        Optional pre-built simulator (must match ``architecture``); by
+        default the Table-II preset is used.
+    short_count / long_count:
+        Stream lengths for the marginal measurement.  Both must exceed
+        one full sweep of the widest stream so warm-up effects cancel.
+    """
+    if simulator is None:
+        simulator = DRAMSimulator.from_preset(architecture)
+    costs: Dict[AccessCondition, ConditionCost] = {}
+    for condition, stream in _STREAMS.items():
+        read_cycles, read_nj = _marginal_cost(
+            simulator, stream, RequestKind.READ, short_count, long_count)
+        _w_cycles, write_nj = _marginal_cost(
+            simulator, stream, RequestKind.WRITE, short_count, long_count)
+        costs[condition] = ConditionCost(
+            cycles=read_cycles,
+            read_energy_nj=read_nj,
+            write_energy_nj=write_nj,
+        )
+    miss_cycles, miss_read_nj = _isolated_miss_cost(
+        simulator, RequestKind.READ)
+    _miss_w_cycles, miss_write_nj = _isolated_miss_cost(
+        simulator, RequestKind.WRITE)
+    costs[AccessCondition.ROW_MISS] = ConditionCost(
+        cycles=miss_cycles,
+        read_energy_nj=miss_read_nj,
+        write_energy_nj=miss_write_nj,
+    )
+    return CharacterizationResult(
+        architecture=architecture,
+        costs=costs,
+        tck_ns=simulator.timings.tck_ns,
+    )
+
+
+@lru_cache(maxsize=None)
+def characterize_preset(architecture: DRAMArchitecture
+                        ) -> CharacterizationResult:
+    """Cached characterization of the Table-II preset configuration."""
+    return characterize(architecture)
+
+
+def characterize_all() -> Dict[DRAMArchitecture, CharacterizationResult]:
+    """Fig.-1 characterization for all four architectures."""
+    return {arch: characterize_preset(arch) for arch in ALL_ARCHITECTURES}

@@ -1,0 +1,149 @@
+"""DRAM commands and requests.
+
+The controller consumes :class:`Request` objects (reads and writes at
+burst granularity) and emits a trace of timestamped :class:`Command`
+records, which the energy model integrates (mirroring the paper's
+Ramulator -> command trace -> VAMPIRE tool flow of Fig. 8).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .address import Coordinate
+
+
+class CommandKind(enum.Enum):
+    """DDR command set subset used by the model."""
+
+    ACT = "ACT"
+    PRE = "PRE"
+    RD = "RD"
+    WR = "WR"
+    REF = "REF"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def is_column(self) -> bool:
+        """True for commands that move data over the bus."""
+        return self in (CommandKind.RD, CommandKind.WR)
+
+
+class RequestKind(enum.Enum):
+    """Request direction."""
+
+    READ = "READ"
+    WRITE = "WRITE"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Request:
+    """One burst-granularity memory request."""
+
+    kind: RequestKind
+    coordinate: Coordinate
+    tag: Optional[str] = None
+
+    @staticmethod
+    def read(coordinate: Coordinate, tag: Optional[str] = None) -> "Request":
+        """Convenience constructor for a read request."""
+        return Request(RequestKind.READ, coordinate, tag)
+
+    @staticmethod
+    def write(coordinate: Coordinate, tag: Optional[str] = None) -> "Request":
+        """Convenience constructor for a write request."""
+        return Request(RequestKind.WRITE, coordinate, tag)
+
+
+@dataclass(frozen=True)
+class Command:
+    """A command issued at a specific cycle."""
+
+    kind: CommandKind
+    cycle: int
+    coordinate: Coordinate
+    #: Number of *other* subarrays concurrently activated in the bank at
+    #: issue time (drives MASA activation-energy overhead).
+    concurrent_subarrays: int = 0
+
+
+@dataclass(frozen=True)
+class ServicedRequest:
+    """Completion record for one request.
+
+    Attributes
+    ----------
+    request:
+        The originating request.
+    issue_cycle:
+        Cycle at which the controller started working on the request
+        (its first command, or the column command for a hit).
+    data_cycle:
+        Cycle at which the data burst *finished* on the bus.
+    row_hit / row_miss / row_conflict:
+        Row-buffer outcome flags (exactly one is set).
+    """
+
+    request: Request
+    issue_cycle: int
+    data_cycle: int
+    row_hit: bool
+    row_miss: bool
+    row_conflict: bool
+
+    def __post_init__(self) -> None:
+        flags = int(self.row_hit) + int(self.row_miss) + int(self.row_conflict)
+        if flags != 1:
+            raise ValueError(
+                "exactly one of row_hit/row_miss/row_conflict must be set")
+
+
+@dataclass
+class CommandTrace:
+    """A complete command trace plus completion records."""
+
+    commands: List[Command]
+    serviced: List[ServicedRequest]
+    total_cycles: int
+
+    @property
+    def num_activations(self) -> int:
+        """Count of ACT commands."""
+        return sum(1 for c in self.commands if c.kind is CommandKind.ACT)
+
+    @property
+    def num_precharges(self) -> int:
+        """Count of PRE commands."""
+        return sum(1 for c in self.commands if c.kind is CommandKind.PRE)
+
+    @property
+    def num_reads(self) -> int:
+        """Count of RD commands."""
+        return sum(1 for c in self.commands if c.kind is CommandKind.RD)
+
+    @property
+    def num_writes(self) -> int:
+        """Count of WR commands."""
+        return sum(1 for c in self.commands if c.kind is CommandKind.WR)
+
+    @property
+    def row_hits(self) -> int:
+        """Requests serviced as row-buffer hits."""
+        return sum(1 for s in self.serviced if s.row_hit)
+
+    @property
+    def row_misses(self) -> int:
+        """Requests serviced as row-buffer misses."""
+        return sum(1 for s in self.serviced if s.row_miss)
+
+    @property
+    def row_conflicts(self) -> int:
+        """Requests serviced as row-buffer conflicts."""
+        return sum(1 for s in self.serviced if s.row_conflict)

@@ -1,0 +1,96 @@
+"""Energy accounting over a command trace (the VAMPIRE role).
+
+Walks a :class:`~repro.dram.commands.CommandTrace` and charges each
+command through the :class:`~repro.dram.power.EnergyModel`, plus the
+standby (background) energy over the elapsed cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .commands import CommandKind, CommandTrace
+from .power import EnergyModel
+
+
+@dataclass(frozen=True)
+class TraceEnergy:
+    """Energy breakdown of one command trace, in nanojoules."""
+
+    activation_nj: float
+    precharge_nj: float
+    read_nj: float
+    write_nj: float
+    refresh_nj: float
+    background_nj: float
+
+    @property
+    def total_nj(self) -> float:
+        """Total trace energy."""
+        return (self.activation_nj + self.precharge_nj + self.read_nj
+                + self.write_nj + self.refresh_nj + self.background_nj)
+
+    @property
+    def dynamic_nj(self) -> float:
+        """Command (non-background) energy."""
+        return self.total_nj - self.background_nj
+
+
+class EnergyAccountant:
+    """Accumulates per-command energy for command traces.
+
+    Parameters
+    ----------
+    model:
+        The per-command energy model.
+    include_background:
+        Charge standby energy over the trace duration.  The paper's
+        per-access characterization (Fig. 1) includes the background
+        share of the access window, so this defaults to True.
+    active_fraction:
+        Fraction of the trace during which at least one row is open.
+        Streams that keep rows open (every stream the mapping policies
+        generate) are effectively always active, hence the default 1.0.
+    """
+
+    def __init__(
+        self,
+        model: EnergyModel,
+        include_background: bool = True,
+        active_fraction: float = 1.0,
+    ) -> None:
+        self.model = model
+        self.include_background = include_background
+        self.active_fraction = active_fraction
+
+    def account(self, trace: CommandTrace) -> TraceEnergy:
+        """Return the energy breakdown of ``trace``."""
+        activation = 0.0
+        precharge = 0.0
+        read = 0.0
+        write = 0.0
+        refresh = 0.0
+        for command in trace.commands:
+            if command.kind is CommandKind.ACT:
+                activation += self.model.activation_nj(
+                    extra_subarrays_active=command.concurrent_subarrays)
+            elif command.kind is CommandKind.PRE:
+                precharge += self.model.precharge_nj()
+            elif command.kind is CommandKind.RD:
+                read += self.model.read_burst_nj()
+            elif command.kind is CommandKind.WR:
+                write += self.model.write_burst_nj()
+            elif command.kind is CommandKind.REF:
+                refresh += self.model.refresh_nj()
+        background = 0.0
+        if self.include_background:
+            background = self.model.background_nj(
+                trace.total_cycles, self.active_fraction)
+        return TraceEnergy(
+            activation_nj=activation,
+            precharge_nj=precharge,
+            read_nj=read,
+            write_nj=write,
+            refresh_nj=refresh,
+            background_nj=background,
+        )

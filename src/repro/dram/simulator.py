@@ -1,0 +1,175 @@
+"""Trace-driven DRAM simulator facade.
+
+Bundles organization, timings, architecture, controller and energy
+model into one object, mirroring the paper's Fig. 8 tool flow:
+
+    requests -> cycle-level controller -> command trace -> energy model
+             -> (cycles, energy) statistics
+
+Example
+-------
+>>> from repro.dram import DRAMSimulator, presets
+>>> from repro.dram.architecture import DRAMArchitecture
+>>> sim = DRAMSimulator.from_preset(DRAMArchitecture.SALP_1)
+>>> result = sim.run(sim.sequential_reads(bank=0, subarray=0, row=0, count=8))
+>>> result.trace.row_hits
+7
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from .address import Coordinate
+from .architecture import DRAMArchitecture
+from .commands import CommandTrace, Request
+from .controller import MemoryController
+from .energy import EnergyAccountant, TraceEnergy
+from .power import CurrentParameters, DDR3_1600_2GB_X8_CURRENTS, EnergyModel
+from .spec import DRAMOrganization
+from .timing import DDR3_1600_TIMINGS, TimingParameters
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    trace: CommandTrace
+    energy: TraceEnergy
+    tck_ns: float
+
+    @property
+    def total_cycles(self) -> int:
+        """Cycles from first command to last data beat."""
+        return self.trace.total_cycles
+
+    @property
+    def total_ns(self) -> float:
+        """Wall-clock nanoseconds of the run."""
+        return self.trace.total_cycles * self.tck_ns
+
+    @property
+    def total_energy_nj(self) -> float:
+        """Total energy in nanojoules (commands + background)."""
+        return self.energy.total_nj
+
+    def cycles_per_access(self) -> float:
+        """Average cycles per serviced request."""
+        count = len(self.trace.serviced)
+        if count == 0:
+            return 0.0
+        return self.trace.total_cycles / count
+
+    def energy_per_access_nj(self) -> float:
+        """Average energy per serviced request in nanojoules."""
+        count = len(self.trace.serviced)
+        if count == 0:
+            return 0.0
+        return self.energy.total_nj / count
+
+
+class DRAMSimulator:
+    """Convenience wrapper tying controller and energy model together."""
+
+    def __init__(
+        self,
+        organization: DRAMOrganization,
+        timings: TimingParameters = DDR3_1600_TIMINGS,
+        architecture: DRAMArchitecture = DRAMArchitecture.DDR3,
+        currents: CurrentParameters = DDR3_1600_2GB_X8_CURRENTS,
+        include_background_energy: bool = True,
+    ) -> None:
+        self.organization = organization
+        self.timings = timings
+        self.architecture = architecture
+        self.energy_model = EnergyModel(organization, timings, currents)
+        self.include_background_energy = include_background_energy
+
+    @classmethod
+    def from_preset(
+        cls,
+        architecture: DRAMArchitecture = DRAMArchitecture.DDR3,
+        **overrides,
+    ) -> "DRAMSimulator":
+        """Build a simulator for a Table-II configuration."""
+        from .presets import organization_for
+        return cls(
+            organization=organization_for(architecture),
+            architecture=architecture,
+            **overrides,
+        )
+
+    # ------------------------------------------------------------------
+    # Running traces
+    # ------------------------------------------------------------------
+
+    def run(self, requests: Iterable[Request]) -> SimulationResult:
+        """Service ``requests`` on a fresh controller and account energy."""
+        controller = MemoryController(
+            self.organization, self.timings, self.architecture)
+        trace = controller.run(requests)
+        accountant = EnergyAccountant(
+            self.energy_model,
+            include_background=self.include_background_energy)
+        energy = accountant.account(trace)
+        return SimulationResult(
+            trace=trace, energy=energy, tck_ns=self.timings.tck_ns)
+
+    # ------------------------------------------------------------------
+    # Canned request generators (used by characterization and tests)
+    # ------------------------------------------------------------------
+
+    def sequential_reads(
+        self,
+        bank: int,
+        subarray: int,
+        row: int,
+        count: int,
+        start_column: int = 0,
+    ) -> List[Request]:
+        """Reads marching through columns of one row (row-hit stream)."""
+        bursts = self.organization.bursts_per_row
+        return [
+            Request.read(Coordinate(
+                bank=bank, subarray=subarray, row=row,
+                column=(start_column + i) % bursts))
+            for i in range(count)
+        ]
+
+    def alternating_row_reads(
+        self, bank: int, subarray: int, rows: Iterable[int], per_row: int = 1,
+    ) -> List[Request]:
+        """Reads bouncing between rows of one subarray (conflict stream)."""
+        requests: List[Request] = []
+        for row in rows:
+            for column in range(per_row):
+                requests.append(Request.read(Coordinate(
+                    bank=bank, subarray=subarray, row=row, column=column)))
+        return requests
+
+    def round_robin_subarray_reads(
+        self, bank: int, count: int, row: int = 0,
+    ) -> List[Request]:
+        """Reads cycling across subarrays of one bank (SALP stream)."""
+        num = self.organization.subarrays_per_bank
+        bursts = self.organization.bursts_per_row
+        return [
+            Request.read(Coordinate(
+                bank=bank, subarray=i % num, row=row,
+                column=(i // num) % bursts))
+            for i in range(count)
+        ]
+
+    def round_robin_bank_reads(
+        self, count: int, subarray: int = 0, row: int = 0,
+    ) -> List[Request]:
+        """Reads cycling across banks (bank-level-parallelism stream)."""
+        num = self.organization.banks_per_chip
+        bursts = self.organization.bursts_per_row
+        return [
+            Request.read(Coordinate(
+                bank=i % num, subarray=subarray, row=row,
+                column=(i // num) % bursts))
+            for i in range(count)
+        ]

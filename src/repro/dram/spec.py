@@ -1,0 +1,166 @@
+"""DRAM organization geometry.
+
+A commodity DRAM device is organized, top to bottom, as channel, rank,
+chip, bank, (subarray,) row, column (paper Section II-B, Fig. 4).  The
+:class:`DRAMOrganization` captures this geometry plus the interface
+parameters (device width, burst length) needed to translate bytes into
+DRAM *accesses*.
+
+An **access** throughout this library means one burst: with a 2 Gb x8
+device and BL8, one access moves 8 bytes per chip.  Chips within a rank
+operate in lockstep off the same command bus, so a chip is *not* an
+independently addressable dimension; ``chips_per_rank`` only scales the
+bytes moved per access and the energy per command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigurationError
+from ..units import ceil_div
+
+
+@dataclass(frozen=True)
+class DRAMOrganization:
+    """Geometry of a DRAM system.
+
+    Parameters
+    ----------
+    channels:
+        Independent channels, each with its own command/data bus.
+    ranks_per_channel:
+        Ranks sharing a channel bus.
+    chips_per_rank:
+        Devices operated in lockstep within a rank.
+    banks_per_chip:
+        Independently schedulable banks per chip.
+    subarrays_per_bank:
+        Subarrays per bank.  Commodity DDR3 exposes no subarray-level
+        parallelism (but the physical subarrays still exist); SALP
+        architectures expose 8 per bank in the paper's configuration.
+    rows_per_bank:
+        Rows per bank (divided evenly among subarrays).
+    columns_per_row:
+        Column *addresses* per row (each column is ``device_width_bits``
+        wide).
+    device_width_bits:
+        Data-bus width of one chip (x8 -> 8).
+    burst_length:
+        Beats per burst (DDR3: BL8).
+    """
+
+    channels: int = 1
+    ranks_per_channel: int = 1
+    chips_per_rank: int = 1
+    banks_per_chip: int = 8
+    subarrays_per_bank: int = 8
+    rows_per_bank: int = 32768
+    columns_per_row: int = 1024
+    device_width_bits: int = 8
+    burst_length: int = 8
+
+    def __post_init__(self) -> None:
+        positive_fields = (
+            "channels", "ranks_per_channel", "chips_per_rank",
+            "banks_per_chip", "subarrays_per_bank", "rows_per_bank",
+            "columns_per_row", "device_width_bits", "burst_length",
+        )
+        for name in positive_fields:
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                raise ConfigurationError(
+                    f"{name} must be a positive integer, got {value!r}")
+        if self.rows_per_bank % self.subarrays_per_bank != 0:
+            raise ConfigurationError(
+                f"rows_per_bank ({self.rows_per_bank}) must divide evenly "
+                f"into subarrays_per_bank ({self.subarrays_per_bank})")
+        if self.columns_per_row % self.burst_length != 0:
+            raise ConfigurationError(
+                f"columns_per_row ({self.columns_per_row}) must be a "
+                f"multiple of burst_length ({self.burst_length})")
+        if self.device_width_bits % 8 != 0:
+            raise ConfigurationError(
+                f"device_width_bits must be a multiple of 8, got "
+                f"{self.device_width_bits}")
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def rows_per_subarray(self) -> int:
+        """Rows held by one subarray."""
+        return self.rows_per_bank // self.subarrays_per_bank
+
+    @property
+    def bursts_per_row(self) -> int:
+        """Burst slots in one row; the 'columns' of the mapping loops."""
+        return self.columns_per_row // self.burst_length
+
+    @property
+    def bytes_per_burst(self) -> int:
+        """Bytes moved per access across the whole rank."""
+        return (self.device_width_bits // 8) * self.burst_length \
+            * self.chips_per_rank
+
+    @property
+    def row_bytes(self) -> int:
+        """Bytes held by one row across the rank (the row-buffer size)."""
+        return self.bursts_per_row * self.bytes_per_burst
+
+    @property
+    def bank_bytes(self) -> int:
+        """Bytes per bank across the rank."""
+        return self.row_bytes * self.rows_per_bank
+
+    @property
+    def subarray_bytes(self) -> int:
+        """Bytes per subarray across the rank."""
+        return self.row_bytes * self.rows_per_subarray
+
+    @property
+    def chip_megabits(self) -> int:
+        """Device density in megabits (sanity check against datasheets)."""
+        bits = (self.banks_per_chip * self.rows_per_bank
+                * self.columns_per_row * self.device_width_bits)
+        return bits // (1024 * 1024)
+
+    @property
+    def rank_bytes(self) -> int:
+        """Bytes per rank."""
+        return self.bank_bytes * self.banks_per_chip
+
+    @property
+    def total_bytes(self) -> int:
+        """Total system capacity in bytes."""
+        return self.rank_bytes * self.ranks_per_channel * self.channels
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def accesses_for_bytes(self, num_bytes: int) -> int:
+        """Number of bursts needed to move ``num_bytes``."""
+        if num_bytes < 0:
+            raise ConfigurationError(
+                f"num_bytes must be non-negative, got {num_bytes}")
+        if num_bytes == 0:
+            return 0
+        return ceil_div(num_bytes, self.bytes_per_burst)
+
+    def with_subarrays(self, subarrays_per_bank: int) -> "DRAMOrganization":
+        """Return a copy with a different subarray count."""
+        return replace(self, subarrays_per_bank=subarrays_per_bank)
+
+    def describe(self) -> str:
+        """One-line human-readable geometry summary."""
+        return (
+            f"{self.channels}ch x {self.ranks_per_channel}ra x "
+            f"{self.chips_per_rank}chip ({self.chip_megabits} Mb x"
+            f"{self.device_width_bits}), {self.banks_per_chip} banks, "
+            f"{self.subarrays_per_bank} subarrays/bank, "
+            f"{self.rows_per_bank} rows/bank, "
+            f"{self.bursts_per_row} bursts/row, "
+            f"{self.bytes_per_burst} B/burst"
+        )

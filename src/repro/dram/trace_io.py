@@ -1,0 +1,169 @@
+"""Request- and command-trace file I/O.
+
+Two plain-text formats:
+
+* **Request traces** use a Ramulator-style line format,
+  ``<address> <R|W>``, where the address is the byte address of the
+  burst under a given mapping policy.  This lets request streams move
+  between this simulator and other DRAM simulators (or be captured
+  from real traces).
+* **Command traces** are written as ``<cycle> <CMD> <coordinate>``
+  lines — the interchange format between the scheduler and external
+  power models (the role VAMPIRE's input plays in the paper's Fig. 8).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from ..errors import ConfigurationError
+from .address import Coordinate
+from .commands import Command, CommandKind, Request, RequestKind
+from .spec import DRAMOrganization
+from ..mapping.policy import MappingPolicy
+
+PathLike = Union[str, Path]
+
+
+def request_to_address(
+    request: Request,
+    policy: MappingPolicy,
+    organization: DRAMOrganization,
+) -> int:
+    """Byte address of a request's burst under ``policy``.
+
+    The inverse of the mapping's mixed-radix decomposition: recompose
+    the access index from the coordinate's digits, then scale by the
+    burst size.
+    """
+    from ..mapping.dims import Dim
+
+    coord = request.coordinate
+    by_dim = {
+        Dim.CHANNEL: coord.channel,
+        Dim.RANK: coord.rank,
+        Dim.BANK: coord.bank,
+        Dim.SUBARRAY: coord.subarray,
+        Dim.ROW: coord.row,
+        Dim.COLUMN: coord.column,
+    }
+    index = 0
+    for dim, stride in zip(policy.full_order,
+                           policy.strides(organization)):
+        index += by_dim[dim] * stride
+    return index * organization.bytes_per_burst
+
+
+def address_to_request(
+    address: int,
+    kind: RequestKind,
+    policy: MappingPolicy,
+    organization: DRAMOrganization,
+) -> Request:
+    """Rebuild a request from a byte address under ``policy``."""
+    if address < 0:
+        raise ConfigurationError(f"address must be non-negative, got "
+                                 f"{address}")
+    if address % organization.bytes_per_burst:
+        raise ConfigurationError(
+            f"address {address} is not burst-aligned "
+            f"({organization.bytes_per_burst} B bursts)")
+    index = address // organization.bytes_per_burst
+    return Request(kind, policy.coordinate_of(index, organization))
+
+
+def write_request_trace(
+    path: PathLike,
+    requests: Iterable[Request],
+    policy: MappingPolicy,
+    organization: DRAMOrganization,
+) -> int:
+    """Write requests as ``<hex address> <R|W>`` lines; returns count."""
+    count = 0
+    with open(path, "w", encoding="ascii") as handle:
+        for request in requests:
+            address = request_to_address(request, policy, organization)
+            letter = "R" if request.kind is RequestKind.READ else "W"
+            handle.write(f"0x{address:x} {letter}\n")
+            count += 1
+    return count
+
+
+def read_request_trace(
+    path: PathLike,
+    policy: MappingPolicy,
+    organization: DRAMOrganization,
+) -> List[Request]:
+    """Parse a ``<address> <R|W>`` request trace."""
+    requests: List[Request] = []
+    with open(path, "r", encoding="ascii") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) != 2:
+                raise ConfigurationError(
+                    f"{path}:{line_number}: expected '<address> <R|W>', "
+                    f"got {stripped!r}")
+            address_text, kind_text = parts
+            try:
+                address = int(address_text, 0)
+            except ValueError:
+                raise ConfigurationError(
+                    f"{path}:{line_number}: bad address "
+                    f"{address_text!r}")
+            if kind_text.upper() == "R":
+                kind = RequestKind.READ
+            elif kind_text.upper() == "W":
+                kind = RequestKind.WRITE
+            else:
+                raise ConfigurationError(
+                    f"{path}:{line_number}: bad direction "
+                    f"{kind_text!r} (expected R or W)")
+            requests.append(address_to_request(
+                address, kind, policy, organization))
+    return requests
+
+
+def write_command_trace(path: PathLike, commands: Iterable[Command]
+                        ) -> int:
+    """Write commands as ``<cycle> <CMD> ch ra ba sa ro co`` lines."""
+    count = 0
+    with open(path, "w", encoding="ascii") as handle:
+        for command in commands:
+            coord = command.coordinate
+            handle.write(
+                f"{command.cycle} {command.kind.value} "
+                f"{coord.channel} {coord.rank} {coord.bank} "
+                f"{coord.subarray} {coord.row} {coord.column} "
+                f"{command.concurrent_subarrays}\n")
+            count += 1
+    return count
+
+
+def read_command_trace(path: PathLike) -> List[Command]:
+    """Parse a command trace written by :func:`write_command_trace`."""
+    commands: List[Command] = []
+    with open(path, "r", encoding="ascii") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) != 9:
+                raise ConfigurationError(
+                    f"{path}:{line_number}: expected 9 fields, got "
+                    f"{len(parts)}")
+            cycle = int(parts[0])
+            kind = CommandKind(parts[1])
+            channel, rank, bank, subarray, row, column, concurrent = \
+                map(int, parts[2:])
+            commands.append(Command(
+                kind=kind, cycle=cycle,
+                coordinate=Coordinate(
+                    channel=channel, rank=rank, bank=bank,
+                    subarray=subarray, row=row, column=column),
+                concurrent_subarrays=concurrent))
+    return commands

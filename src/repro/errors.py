@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration problems from modelling problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or invalid parameters.
+
+    Examples: a DRAM organization whose row does not hold a whole number
+    of bursts, a timing set where ``tRAS + tRP != tRC``, or an on-chip
+    buffer with non-positive capacity.
+    """
+
+
+class CapacityError(ReproError):
+    """Data does not fit in the targeted resource.
+
+    Raised when a tile exceeds its on-chip buffer, or a mapped region
+    exceeds the DRAM rank/channel capacity.
+    """
+
+
+class SchedulingError(ReproError):
+    """The memory controller was asked to do something illegal.
+
+    Examples: issuing a column command to a bank with no activated row,
+    or replaying a command trace that violates timing constraints.
+    """
+
+
+class MappingError(ReproError):
+    """A mapping policy is malformed.
+
+    Examples: a loop order that repeats a dimension, omits the column
+    dimension, or addresses a dimension the organization does not have.
+    """
+
+
+class DseError(ReproError):
+    """The design-space exploration could not produce a result.
+
+    Raised when no tiling satisfies the buffer constraints for a layer
+    (Algorithm 1 line 9 never admits a point).
+    """

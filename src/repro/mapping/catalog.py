@@ -1,0 +1,87 @@
+"""The mapping policies explored by the paper's DSE (Table I).
+
+Table I lists six policies, each a permutation of (column, subarray,
+bank, row) loops with the *row* loop outermost -- the paper narrows the
+design space to policies with the least frequent row switches, since a
+row switch is the most expensive access.  Mapping-3 is DRMap: columns
+innermost (row-buffer hits), then banks (bank-level parallelism), then
+subarrays (subarray-level parallelism), rows last.
+
+The commodity *default* mapping (Section II-B "DRAM Data Mapping") is
+also provided as a baseline: consecutive data fill the columns of a
+row, then the banks, then rows -- it never spreads data across
+subarrays deliberately (equivalent to Mapping-3 with the subarray loop
+folded into the row loop; we model it as column, bank, row, subarray,
+i.e. subarray-oblivious).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .dims import Dim
+from .policy import MappingPolicy
+
+#: Table I, Mapping 1: column, subarray, bank, row (inner -> outer).
+MAPPING_1 = MappingPolicy(
+    name="Mapping-1",
+    loop_order=(Dim.COLUMN, Dim.SUBARRAY, Dim.BANK, Dim.ROW),
+)
+
+#: Table I, Mapping 2: subarray, column, bank, row.
+MAPPING_2 = MappingPolicy(
+    name="Mapping-2",
+    loop_order=(Dim.SUBARRAY, Dim.COLUMN, Dim.BANK, Dim.ROW),
+)
+
+#: Table I, Mapping 3: column, bank, subarray, row.  This is DRMap.
+MAPPING_3 = MappingPolicy(
+    name="Mapping-3 (DRMap)",
+    loop_order=(Dim.COLUMN, Dim.BANK, Dim.SUBARRAY, Dim.ROW),
+)
+
+#: Table I, Mapping 4: bank, column, subarray, row.
+MAPPING_4 = MappingPolicy(
+    name="Mapping-4",
+    loop_order=(Dim.BANK, Dim.COLUMN, Dim.SUBARRAY, Dim.ROW),
+)
+
+#: Table I, Mapping 5: subarray, bank, column, row.
+MAPPING_5 = MappingPolicy(
+    name="Mapping-5",
+    loop_order=(Dim.SUBARRAY, Dim.BANK, Dim.COLUMN, Dim.ROW),
+)
+
+#: Table I, Mapping 6: bank, subarray, column, row.
+MAPPING_6 = MappingPolicy(
+    name="Mapping-6",
+    loop_order=(Dim.BANK, Dim.SUBARRAY, Dim.COLUMN, Dim.ROW),
+)
+
+#: DRMap is Table I's Mapping-3 (paper Key Observation 1).
+DRMAP = MAPPING_3
+
+#: Commodity default mapping: rows filled column-first across banks,
+#: subarray placement left to the row address (subarray-oblivious).
+DEFAULT_MAPPING = MappingPolicy(
+    name="Default (commodity)",
+    loop_order=(Dim.COLUMN, Dim.BANK, Dim.ROW, Dim.SUBARRAY),
+)
+
+#: The six DSE policies in Table-I order.
+TABLE1_MAPPINGS: Tuple[MappingPolicy, ...] = (
+    MAPPING_1, MAPPING_2, MAPPING_3, MAPPING_4, MAPPING_5, MAPPING_6,
+)
+
+#: Table-I policies by their paper index.
+MAPPINGS_BY_INDEX: Dict[int, MappingPolicy] = {
+    i + 1: policy for i, policy in enumerate(TABLE1_MAPPINGS)
+}
+
+
+def mapping_by_index(index: int) -> MappingPolicy:
+    """Return Table-I mapping ``index`` (1-based, as in the paper)."""
+    if index not in MAPPINGS_BY_INDEX:
+        raise KeyError(
+            f"Table I defines mappings 1..6, got {index}")
+    return MAPPINGS_BY_INDEX[index]

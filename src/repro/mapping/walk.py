@@ -1,0 +1,158 @@
+"""Reference traversal of a mapping policy.
+
+Two purposes:
+
+1. :func:`count_transitions_by_walk` re-derives the Eq. 2/3 counts by
+   literally walking the coordinates and finding the outermost changed
+   loop per access -- the ground truth for
+   :func:`repro.mapping.counts.count_transitions`.
+2. :func:`classify_walk` performs a *state-aware* classification: it
+   tracks the open row of every bank (or every subarray under MASA)
+   and labels each access with the Fig.-1 condition the memory
+   controller would actually see.  This exposes where the paper's
+   analytical model is optimistic: e.g. under Mapping-2 on DDR3, the
+   access after a full subarray sweep returns to a subarray whose row
+   was closed in the meantime -- the loop-wrap model calls it a column
+   hit, the hardware sees a conflict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..dram.architecture import DRAMArchitecture, behavior_of
+from ..dram.characterize import AccessCondition
+from ..dram.spec import DRAMOrganization
+from .dims import Dim
+from .counts import TransitionCounts
+from .policy import MappingPolicy
+
+
+def count_transitions_by_walk(
+    policy: MappingPolicy,
+    organization: DRAMOrganization,
+    n_accesses: int,
+    start: int = 0,
+) -> TransitionCounts:
+    """Loop-wrap transition counts derived by exhaustive traversal.
+
+    Semantically identical to
+    :func:`repro.mapping.counts.count_transitions`, in O(n) time; used
+    to validate the closed form.
+    """
+    if n_accesses == 0:
+        return TransitionCounts(by_dim={}, initial=0, total=0)
+    order = policy.full_order
+    by_dim: Dict[Dim, int] = {}
+    previous = policy.digits_of(start, organization)
+    for index in range(start + 1, start + n_accesses):
+        digits = policy.digits_of(index, organization)
+        outermost: Optional[Dim] = None
+        for position, dim in enumerate(order):
+            if digits[position] != previous[position]:
+                outermost = dim
+        if outermost is None:
+            raise AssertionError("consecutive indices must differ")
+        by_dim[outermost] = by_dim.get(outermost, 0) + 1
+        previous = digits
+    counts = TransitionCounts(
+        by_dim=by_dim, initial=1, total=n_accesses)
+    counts.check_conservation()
+    return counts
+
+
+@dataclass
+class WalkClassification:
+    """State-aware per-condition counts for a walked access run."""
+
+    by_condition: Dict[AccessCondition, int] = field(default_factory=dict)
+    total: int = 0
+
+    def count(self, condition: AccessCondition) -> int:
+        """Accesses classified as ``condition``."""
+        return self.by_condition.get(condition, 0)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that were row-buffer hits."""
+        if self.total == 0:
+            return 0.0
+        return self.count(AccessCondition.ROW_HIT) / self.total
+
+
+def classify_walk(
+    policy: MappingPolicy,
+    organization: DRAMOrganization,
+    architecture: DRAMArchitecture,
+    n_accesses: int,
+    start: int = 0,
+) -> WalkClassification:
+    """Classify each access with the condition the controller sees.
+
+    The classification mirrors the row-buffer rules of
+    :class:`repro.dram.controller.MemoryController`, with the Fig.-1
+    parallelism conditions layered on top:
+
+    * an access needing an activation in a *different bank* than the
+      previous access overlaps with it -> ``BANK_PARALLEL``;
+    * an activation in the same bank but a different subarray than the
+      bank's current subarray -> ``SUBARRAY_PARALLEL``;
+    * an activation displacing a row in the same subarray ->
+      ``ROW_CONFLICT``; with nothing to displace -> ``ROW_MISS``;
+    * no activation needed -> ``ROW_HIT``.
+    """
+    behavior = behavior_of(architecture)
+    masa = behavior.multiple_activated_subarrays
+    # Bank state: non-MASA keeps one (subarray, row); MASA keeps a row
+    # per subarray.
+    open_rows: Dict[Tuple, Dict[int, int]] = {}
+    bank_open: Dict[Tuple, Tuple[int, int]] = {}
+    previous_bank: Optional[Tuple] = None
+    result = WalkClassification(total=n_accesses)
+
+    for coord in policy.iter_coordinates(n_accesses, organization, start):
+        bank_key = coord.bank_key
+        if masa:
+            bank_state = open_rows.setdefault(bank_key, {})
+            open_row = bank_state.get(coord.subarray)
+            hit = open_row == coord.row
+            needs_displacement = open_row is not None and not hit
+            same_subarray_victim = needs_displacement
+        else:
+            open_entry = bank_open.get(bank_key)
+            hit = open_entry == (coord.subarray, coord.row)
+            needs_displacement = open_entry is not None and not hit
+            same_subarray_victim = (
+                needs_displacement and open_entry[0] == coord.subarray)
+
+        if hit:
+            condition = AccessCondition.ROW_HIT
+        elif previous_bank is not None and bank_key != previous_bank:
+            condition = AccessCondition.BANK_PARALLEL
+        elif not needs_displacement:
+            condition = AccessCondition.ROW_MISS
+        elif same_subarray_victim:
+            condition = AccessCondition.ROW_CONFLICT
+        else:
+            condition = AccessCondition.SUBARRAY_PARALLEL
+
+        result.by_condition[condition] = \
+            result.by_condition.get(condition, 0) + 1
+
+        if masa:
+            open_rows[bank_key][coord.subarray] = coord.row
+            budget = min(behavior.max_activated_subarrays,
+                         organization.subarrays_per_bank)
+            if len(open_rows[bank_key]) > budget:
+                # Evict an arbitrary non-target subarray (LRU detail is
+                # irrelevant for counting).
+                for subarray in list(open_rows[bank_key]):
+                    if subarray != coord.subarray:
+                        del open_rows[bank_key][subarray]
+                        break
+        else:
+            bank_open[bank_key] = (coord.subarray, coord.row)
+        previous_bank = bank_key
+
+    return result

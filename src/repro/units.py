@@ -1,0 +1,108 @@
+"""Unit helpers used across the library.
+
+The DRAM models mix four kinds of quantities:
+
+* time in **nanoseconds** (``float``),
+* time in **memory-clock cycles** (``int`` for schedules, ``float`` for
+  averages),
+* energy in **nanojoules** (``float``),
+* energy-delay product in **joule-seconds** (``float``).
+
+Keeping conversions in one place avoids the classic off-by-1e9 bugs and
+gives the reports a consistent human-readable formatting.
+"""
+
+from __future__ import annotations
+
+import math
+
+NS_PER_S = 1e9
+NJ_PER_J = 1e9
+
+
+def ns_to_s(nanoseconds: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return nanoseconds / NS_PER_S
+
+
+def s_to_ns(seconds: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return seconds * NS_PER_S
+
+
+def nj_to_j(nanojoules: float) -> float:
+    """Convert nanojoules to joules."""
+    return nanojoules / NJ_PER_J
+
+
+def j_to_nj(joules: float) -> float:
+    """Convert joules to nanojoules."""
+    return joules * NJ_PER_J
+
+
+def cycles_to_ns(cycles: float, tck_ns: float) -> float:
+    """Convert a cycle count to nanoseconds for a clock period ``tck_ns``."""
+    return cycles * tck_ns
+
+
+def ns_to_cycles(nanoseconds: float, tck_ns: float) -> int:
+    """Convert nanoseconds to a whole number of cycles, rounding up.
+
+    JEDEC timing parameters given in nanoseconds always round *up* to
+    the next clock edge when expressed in cycles.
+    """
+    return int(math.ceil(nanoseconds / tck_ns - 1e-12))
+
+
+def edp_joule_seconds(energy_nj: float, latency_ns: float) -> float:
+    """Energy-delay product in J*s from energy in nJ and latency in ns."""
+    return nj_to_j(energy_nj) * ns_to_s(latency_ns)
+
+
+def format_si(value: float, unit: str, precision: int = 3) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``format_si(2.5e-3, 'J')``.
+
+    Parameters
+    ----------
+    value:
+        The quantity in base units.
+    unit:
+        Unit suffix, appended after the SI prefix.
+    precision:
+        Significant digits to keep.
+    """
+    if value == 0:
+        return f"0 {unit}"
+    prefixes = [
+        (1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k"),
+        (1.0, ""), (1e-3, "m"), (1e-6, "u"), (1e-9, "n"),
+        (1e-12, "p"), (1e-15, "f"),
+    ]
+    magnitude = abs(value)
+    for scale, prefix in prefixes:
+        if magnitude >= scale:
+            return f"{value / scale:.{precision}g} {prefix}{unit}"
+    scale, prefix = prefixes[-1]
+    return f"{value / scale:.{precision}g} {prefix}{unit}"
+
+
+def format_bytes(num_bytes: int) -> str:
+    """Format a byte count with binary prefixes (KiB reported as KB)."""
+    if num_bytes < 1024:
+        return f"{num_bytes} B"
+    for scale, prefix in ((1024 ** 3, "GB"), (1024 ** 2, "MB"), (1024, "KB")):
+        if num_bytes >= scale:
+            quotient = num_bytes / scale
+            if quotient == int(quotient):
+                return f"{int(quotient)} {prefix}"
+            return f"{quotient:.2f} {prefix}"
+    raise AssertionError("unreachable")
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division for non-negative operands."""
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    if numerator < 0:
+        raise ValueError(f"numerator must be non-negative, got {numerator}")
+    return -(-numerator // denominator)

@@ -1,0 +1,46 @@
+"""Tests for the Table-II accelerator configuration."""
+
+import pytest
+
+from repro.accelerator.config import AcceleratorConfig, TABLE2_ACCELERATOR
+from repro.dram.architecture import DRAMArchitecture
+from repro.errors import ConfigurationError
+
+
+class TestTable2Defaults:
+    def test_mac_array_8x8(self):
+        assert TABLE2_ACCELERATOR.mac_rows == 8
+        assert TABLE2_ACCELERATOR.mac_cols == 8
+        assert TABLE2_ACCELERATOR.num_macs == 64
+
+    def test_buffers_64kb_each(self):
+        buffers = TABLE2_ACCELERATOR.buffers
+        assert buffers.ifms_bytes == 64 * 1024
+        assert buffers.wghs_bytes == 64 * 1024
+        assert buffers.ofms_bytes == 64 * 1024
+
+    def test_default_dram_ddr3(self):
+        assert TABLE2_ACCELERATOR.dram_architecture \
+            is DRAMArchitecture.DDR3
+
+    def test_dram_organization_is_2gb(self):
+        assert TABLE2_ACCELERATOR.dram_organization.chip_megabits == 2048
+
+    def test_peak_throughput(self):
+        assert TABLE2_ACCELERATOR.peak_macs_per_second \
+            == pytest.approx(64 * 0.8e9)
+
+
+class TestValidation:
+    def test_rejects_zero_macs(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratorConfig(mac_rows=0)
+
+    def test_rejects_zero_clock(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratorConfig(clock_ghz=0.0)
+
+    def test_alternate_dram(self):
+        config = AcceleratorConfig(
+            dram_architecture=DRAMArchitecture.SALP_MASA)
+        assert config.dram_architecture is DRAMArchitecture.SALP_MASA

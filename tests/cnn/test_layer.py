@@ -1,0 +1,101 @@
+"""Tests for repro.cnn.layer."""
+
+import pytest
+
+from repro.cnn.layer import ConvLayer
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_conv_output_shape(self):
+        layer = ConvLayer.conv("L", (3, 227, 227), 96, kernel=11, stride=4)
+        assert (layer.out_height, layer.out_width) == (55, 55)
+        assert layer.out_channels == 96
+
+    def test_conv_with_padding(self):
+        layer = ConvLayer.conv("L", (96, 27, 27), 256, kernel=5, padding=2)
+        assert (layer.out_height, layer.out_width) == (27, 27)
+
+    def test_fully_connected(self):
+        layer = ConvLayer.fully_connected("FC", 9216, 4096)
+        assert layer.is_fully_connected
+        assert layer.in_channels == 9216
+        assert layer.out_channels == 4096
+
+    def test_conv_is_not_fully_connected(self):
+        layer = ConvLayer.conv("L", (3, 8, 8), 4, kernel=3)
+        assert not layer.is_fully_connected
+
+    def test_rejects_bad_groups(self):
+        with pytest.raises(ConfigurationError):
+            ConvLayer.conv("L", (3, 8, 8), 4, kernel=3, groups=2)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            ConvLayer.fully_connected("FC", 0, 10)
+
+
+class TestVolumes:
+    def test_ifms_bytes(self):
+        layer = ConvLayer.conv("L", (3, 227, 227), 96, kernel=11, stride=4)
+        assert layer.ifms_bytes == 3 * 227 * 227
+
+    def test_wghs_bytes_ungrouped(self):
+        layer = ConvLayer.conv("L", (3, 227, 227), 96, kernel=11, stride=4)
+        assert layer.wghs_bytes == 96 * 3 * 11 * 11
+
+    def test_wghs_bytes_grouped(self):
+        """Grouped kernels only span their group's input channels."""
+        layer = ConvLayer.conv("L", (96, 27, 27), 256, kernel=5,
+                               padding=2, groups=2)
+        assert layer.wghs_bytes == 256 * 48 * 5 * 5
+
+    def test_ofms_bytes(self):
+        layer = ConvLayer.conv("L", (3, 227, 227), 96, kernel=11, stride=4)
+        assert layer.ofms_bytes == 96 * 55 * 55
+
+    def test_bytes_per_element_scales_volumes(self):
+        int8 = ConvLayer.fully_connected("FC", 100, 10)
+        fp16 = ConvLayer.fully_connected("FC", 100, 10, bytes_per_element=2)
+        assert fp16.wghs_bytes == 2 * int8.wghs_bytes
+        assert fp16.ifms_bytes == 2 * int8.ifms_bytes
+
+    def test_batch_scales_activations_not_weights(self):
+        single = ConvLayer.conv("L", (3, 32, 32), 8, kernel=3)
+        batched = ConvLayer.conv("L", (3, 32, 32), 8, kernel=3, batch=4)
+        assert batched.ifms_bytes == 4 * single.ifms_bytes
+        assert batched.ofms_bytes == 4 * single.ofms_bytes
+        assert batched.wghs_bytes == single.wghs_bytes
+
+    def test_total_bytes(self):
+        layer = ConvLayer.fully_connected("FC", 100, 10)
+        assert layer.total_bytes \
+            == layer.ifms_bytes + layer.wghs_bytes + layer.ofms_bytes
+
+
+class TestMacs:
+    def test_fc_macs(self):
+        layer = ConvLayer.fully_connected("FC", 100, 10)
+        assert layer.macs == 1000
+
+    def test_conv_macs(self):
+        layer = ConvLayer.conv("L", (3, 227, 227), 96, kernel=11, stride=4)
+        assert layer.macs == 55 * 55 * 96 * 3 * 11 * 11
+
+    def test_grouped_macs_halved(self):
+        full = ConvLayer.conv("L", (96, 27, 27), 256, kernel=5, padding=2)
+        grouped = ConvLayer.conv("L", (96, 27, 27), 256, kernel=5,
+                                 padding=2, groups=2)
+        assert grouped.macs == full.macs // 2
+
+
+class TestDescribe:
+    def test_conv_describe(self):
+        layer = ConvLayer.conv("CONV2", (96, 27, 27), 256, kernel=5,
+                               padding=2, groups=2)
+        text = layer.describe()
+        assert "CONV2" in text and "groups=2" in text
+
+    def test_fc_describe(self):
+        text = ConvLayer.fully_connected("FC6", 9216, 4096).describe()
+        assert "FC" in text and "9216" in text

@@ -1,0 +1,68 @@
+"""Tests for the scheduling schemes."""
+
+import pytest
+
+from repro.cnn.scheduling import (
+    ALL_SCHEMES,
+    CONCRETE_SCHEMES,
+    DEPENDENCIES,
+    LoopVar,
+    ReuseScheme,
+    loop_order,
+)
+
+
+class TestLoopOrders:
+    def test_ofms_reuse_is_output_stationary(self):
+        """ofms-reuse keeps partial sums on chip: i innermost."""
+        assert loop_order(ReuseScheme.OFMS_REUSE)[-1] is LoopVar.I
+
+    def test_ifms_reuse_keeps_ifms_resident(self):
+        """ifms-reuse sweeps j under a fixed (h, w, i) ifms tile."""
+        assert loop_order(ReuseScheme.IFMS_REUSE)[-1] is LoopVar.J
+
+    def test_wghs_reuse_keeps_weights_resident(self):
+        """wghs-reuse streams spatial positions under fixed (j, i)."""
+        order = loop_order(ReuseScheme.WGHS_REUSE)
+        assert set(order[-2:]) == {LoopVar.H, LoopVar.W}
+
+    def test_each_order_is_a_permutation(self):
+        for scheme in CONCRETE_SCHEMES:
+            assert sorted(loop_order(scheme), key=lambda v: v.value) \
+                == sorted(LoopVar, key=lambda v: v.value)
+
+    def test_adaptive_has_no_fixed_order(self):
+        with pytest.raises(ValueError):
+            loop_order(ReuseScheme.ADAPTIVE_REUSE)
+
+
+class TestDependencies:
+    def test_ifms_independent_of_j(self):
+        assert LoopVar.J not in DEPENDENCIES["ifms"]
+
+    def test_wghs_independent_of_spatial(self):
+        assert LoopVar.H not in DEPENDENCIES["wghs"]
+        assert LoopVar.W not in DEPENDENCIES["wghs"]
+
+    def test_ofms_independent_of_i(self):
+        assert LoopVar.I not in DEPENDENCIES["ofms"]
+
+    def test_every_loop_feeds_some_type(self):
+        covered = set()
+        for deps in DEPENDENCIES.values():
+            covered |= deps
+        assert covered == set(LoopVar)
+
+
+class TestEnumerations:
+    def test_four_schemes(self):
+        assert len(ALL_SCHEMES) == 4
+        assert ReuseScheme.ADAPTIVE_REUSE in ALL_SCHEMES
+
+    def test_concrete_excludes_adaptive(self):
+        assert ReuseScheme.ADAPTIVE_REUSE not in CONCRETE_SCHEMES
+        assert len(CONCRETE_SCHEMES) == 3
+
+    def test_string_forms(self):
+        assert str(ReuseScheme.IFMS_REUSE) == "ifms-reuse"
+        assert str(LoopVar.I) == "i"

@@ -1,0 +1,68 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cnn.models import alexnet, tiny_test_network
+from repro.dram.architecture import ALL_ARCHITECTURES, DRAMArchitecture
+from repro.dram.characterize import characterize_preset
+from repro.dram.presets import DDR3_1600_2GB_X8, TINY_ORGANIZATION
+from repro.dram.simulator import DRAMSimulator
+from repro.dram.timing import DDR3_1600_TIMINGS
+
+
+@pytest.fixture(scope="session")
+def table2_org():
+    """The paper's Table-II DRAM organization."""
+    return DDR3_1600_2GB_X8
+
+
+@pytest.fixture(scope="session")
+def tiny_org():
+    """A miniature organization for exhaustive walks."""
+    return TINY_ORGANIZATION
+
+
+@pytest.fixture(scope="session")
+def timings():
+    """DDR3-1600 timing parameters."""
+    return DDR3_1600_TIMINGS
+
+
+@pytest.fixture(params=ALL_ARCHITECTURES,
+                ids=[a.value for a in ALL_ARCHITECTURES])
+def architecture(request):
+    """Parametrized over all four DRAM architectures."""
+    return request.param
+
+
+@pytest.fixture()
+def ddr3_sim(table2_org):
+    """A fresh DDR3 simulator on the Table-II organization."""
+    return DRAMSimulator(table2_org, architecture=DRAMArchitecture.DDR3)
+
+
+@pytest.fixture()
+def masa_sim(table2_org):
+    """A fresh SALP-MASA simulator on the Table-II organization."""
+    return DRAMSimulator(
+        table2_org, architecture=DRAMArchitecture.SALP_MASA)
+
+
+@pytest.fixture(scope="session")
+def characterizations():
+    """Fig.-1 characterization of all four architectures (cached)."""
+    return {arch: characterize_preset(arch) for arch in ALL_ARCHITECTURES}
+
+
+@pytest.fixture(scope="session")
+def alexnet_layers():
+    """The paper's AlexNet workload."""
+    return alexnet()
+
+
+@pytest.fixture(scope="session")
+def tiny_layers():
+    """A miniature network for trace-level tests."""
+    return tiny_test_network()

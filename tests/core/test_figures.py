@@ -1,0 +1,77 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.core.figures import bar_chart, grouped_bar_chart, sparkline
+
+
+class TestBarChart:
+    def test_each_value_gets_a_line(self):
+        chart = bar_chart({"a": 1.0, "b": 2.0}, title="T")
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 3
+
+    def test_larger_value_longer_bar(self):
+        chart = bar_chart({"small": 1.0, "big": 10.0})
+        small_line, big_line = chart.splitlines()
+        assert big_line.count("#") > small_line.count("#")
+
+    def test_log_scale_compresses_ratios(self):
+        linear = bar_chart({"a": 1.0, "b": 1000.0}, width=60)
+        logarithmic = bar_chart({"a": 1.0, "b": 1000.0}, width=60,
+                                log_scale=True)
+        a_linear = linear.splitlines()[0].count("#")
+        a_log = logarithmic.splitlines()[0].count("#")
+        assert a_log > a_linear
+
+    def test_value_printed_with_unit(self):
+        chart = bar_chart({"a": 2.5}, unit=" nJ")
+        assert "2.5 nJ" in chart
+
+    def test_empty_returns_title(self):
+        assert bar_chart({}, title="empty") == "empty"
+
+    def test_all_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": 0.0})
+
+    def test_equal_values_full_bars(self):
+        chart = bar_chart({"a": 5.0, "b": 5.0}, width=10)
+        for line in chart.splitlines():
+            assert "#" in line
+
+
+class TestGroupedBarChart:
+    def test_groups_labeled(self):
+        chart = grouped_bar_chart(
+            {"DDR3": {"hit": 4.0, "conflict": 39.0},
+             "MASA": {"hit": 4.0, "conflict": 39.0}})
+        assert "[DDR3]" in chart
+        assert "[MASA]" in chart
+
+    def test_shared_scale_across_groups(self):
+        chart = grouped_bar_chart(
+            {"g1": {"x": 1.0}, "g2": {"x": 1.0}}, log_scale=False)
+        bars = [line.count("#") for line in chart.splitlines()
+                if "#" in line]
+        assert bars[0] == bars[1]
+
+    def test_requires_positive_values(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart({"g": {"x": 0.0}})
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "___"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_series_uses_increasing_blocks(self):
+        line = sparkline([1, 2, 3, 4, 5, 6])
+        assert line[0] != line[-1]

@@ -1,0 +1,59 @@
+"""Property-based tests on pareto-front invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pareto import ObjectivePoint, pareto_front
+
+finite = st.floats(min_value=0.001, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+point_lists = st.lists(
+    st.tuples(finite, finite), min_size=0, max_size=60)
+
+
+def to_points(pairs):
+    return [ObjectivePoint(energy_nj=e, latency_ns=l) for e, l in pairs]
+
+
+@given(pairs=point_lists)
+@settings(max_examples=200, deadline=None)
+def test_front_members_are_mutually_non_dominating(pairs):
+    front = pareto_front(to_points(pairs))
+    for a in front:
+        for b in front:
+            assert not a.dominates(b)
+
+
+@given(pairs=point_lists)
+@settings(max_examples=200, deadline=None)
+def test_every_input_dominated_or_on_front(pairs):
+    points = to_points(pairs)
+    front = pareto_front(points)
+    front_objectives = {(p.energy_nj, p.latency_ns) for p in front}
+    for point in points:
+        on_front = (point.energy_nj, point.latency_ns) in front_objectives
+        dominated = any(f.dominates(point) for f in front)
+        assert on_front or dominated
+
+
+@given(pairs=point_lists)
+@settings(max_examples=100, deadline=None)
+def test_front_is_idempotent(pairs):
+    front = pareto_front(to_points(pairs))
+    again = pareto_front(front)
+    assert {(p.energy_nj, p.latency_ns) for p in front} \
+        == {(p.energy_nj, p.latency_ns) for p in again}
+
+
+@given(pairs=point_lists, extra=st.tuples(finite, finite))
+@settings(max_examples=100, deadline=None)
+def test_adding_dominated_point_never_changes_front(pairs, extra):
+    points = to_points(pairs)
+    front = pareto_front(points)
+    if not front:
+        return
+    worst = max(points, key=lambda p: (p.energy_nj, p.latency_ns))
+    dominated = ObjectivePoint(
+        energy_nj=worst.energy_nj * 2, latency_ns=worst.latency_ns * 2)
+    new_front = pareto_front(points + [dominated])
+    assert {(p.energy_nj, p.latency_ns) for p in front} \
+        == {(p.energy_nj, p.latency_ns) for p in new_front}

@@ -1,0 +1,60 @@
+"""Tests for report formatting."""
+
+import pytest
+
+from repro.core.report import (
+    format_edp,
+    format_series,
+    format_table,
+    improvement_percent,
+    series_table,
+)
+
+
+class TestFormatTable:
+    def test_headers_and_rows_aligned(self):
+        text = format_table(
+            ["name", "value"], [["a", 1], ["long-name", 22]],
+            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert lines[2].startswith("---")
+        assert len(lines) == 5
+
+    def test_no_title(self):
+        text = format_table(["x"], [["1"]])
+        assert not text.startswith("\n")
+        assert text.splitlines()[0].startswith("x")
+
+
+class TestImprovement:
+    def test_90_percent(self):
+        assert improvement_percent(10.0, 1.0) == pytest.approx(90.0)
+
+    def test_no_improvement(self):
+        assert improvement_percent(5.0, 5.0) == pytest.approx(0.0)
+
+    def test_regression_is_negative(self):
+        assert improvement_percent(5.0, 10.0) == pytest.approx(-100.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            improvement_percent(0.0, 1.0)
+
+
+class TestSeries:
+    def test_format_edp_unit(self):
+        assert "J*s" in format_edp(1.5e-3)
+
+    def test_format_series_pairs_names(self):
+        text = format_series("DDR3", [1e-3, 2e-3], ["CONV1", "CONV2"])
+        assert text.startswith("DDR3:")
+        assert "CONV1=" in text and "CONV2=" in text
+
+    def test_series_table_shape(self):
+        text = series_table(
+            {"Mapping-1": [1e-3], "Mapping-3": [2e-4]},
+            column_names=["Total"], title="fig9")
+        assert "Mapping-1" in text and "Mapping-3" in text
+        assert text.splitlines()[0] == "fig9"

@@ -1,0 +1,62 @@
+"""Tests for the architecture behaviour flags."""
+
+from repro.dram.architecture import (
+    ALL_ARCHITECTURES,
+    SALP_ARCHITECTURES,
+    DRAMArchitecture,
+    behavior_of,
+)
+
+
+class TestBehaviorFlags:
+    def test_ddr3_has_no_salp_features(self):
+        behavior = behavior_of(DRAMArchitecture.DDR3)
+        assert not behavior.overlap_precharge_with_activation
+        assert not behavior.overlap_write_recovery
+        assert not behavior.multiple_activated_subarrays
+
+    def test_salp1_overlaps_precharge_only(self):
+        behavior = behavior_of(DRAMArchitecture.SALP_1)
+        assert behavior.overlap_precharge_with_activation
+        assert not behavior.overlap_write_recovery
+        assert not behavior.multiple_activated_subarrays
+
+    def test_salp2_adds_write_recovery(self):
+        behavior = behavior_of(DRAMArchitecture.SALP_2)
+        assert behavior.overlap_precharge_with_activation
+        assert behavior.overlap_write_recovery
+        assert not behavior.multiple_activated_subarrays
+
+    def test_masa_adds_multiple_activation(self):
+        behavior = behavior_of(DRAMArchitecture.SALP_MASA)
+        assert behavior.multiple_activated_subarrays
+        assert behavior.overlap_precharge_with_activation
+        assert behavior.overlap_write_recovery
+
+    def test_features_monotonically_increase(self):
+        """Each SALP level is a superset of the previous (Section II-C)."""
+        order = (DRAMArchitecture.DDR3, DRAMArchitecture.SALP_1,
+                 DRAMArchitecture.SALP_2, DRAMArchitecture.SALP_MASA)
+        counts = []
+        for arch in order:
+            behavior = behavior_of(arch)
+            counts.append(sum([
+                behavior.overlap_precharge_with_activation,
+                behavior.overlap_write_recovery,
+                behavior.multiple_activated_subarrays,
+            ]))
+        assert counts == sorted(counts)
+
+
+class TestEnumerations:
+    def test_all_architectures_order(self):
+        assert ALL_ARCHITECTURES[0] is DRAMArchitecture.DDR3
+        assert ALL_ARCHITECTURES[-1] is DRAMArchitecture.SALP_MASA
+        assert len(ALL_ARCHITECTURES) == 4
+
+    def test_salp_excludes_ddr3(self):
+        assert DRAMArchitecture.DDR3 not in SALP_ARCHITECTURES
+        assert len(SALP_ARCHITECTURES) == 3
+
+    def test_string_form(self):
+        assert str(DRAMArchitecture.SALP_MASA) == "SALP-MASA"

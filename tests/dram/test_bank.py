@@ -1,0 +1,147 @@
+"""Tests for repro.dram.bank state machines."""
+
+import pytest
+
+from repro.dram.bank import NEVER, BankState, RankState, SubarrayState
+from repro.dram.timing import DDR3_1600_TIMINGS as T
+from repro.errors import SchedulingError
+
+
+class TestSubarrayState:
+    def test_initially_closed(self):
+        state = SubarrayState()
+        assert not state.is_open
+
+    def test_activate_opens_row(self):
+        state = SubarrayState()
+        state.activate(row=7, cycle=100)
+        assert state.is_open and state.open_row == 7
+        assert state.act_cycle == 100
+
+    def test_double_activate_rejected(self):
+        state = SubarrayState()
+        state.activate(0, 0)
+        with pytest.raises(SchedulingError):
+            state.activate(1, 50)
+
+    def test_precharge_without_open_row_rejected(self):
+        with pytest.raises(SchedulingError):
+            SubarrayState().precharge(0, T)
+
+    def test_earliest_precharge_respects_tras(self):
+        state = SubarrayState()
+        state.activate(0, 100)
+        assert state.earliest_precharge(T) == 100 + T.tRAS
+
+    def test_earliest_precharge_respects_read_to_precharge(self):
+        state = SubarrayState()
+        state.activate(0, 0)
+        state.last_read_issue = 40
+        assert state.earliest_precharge(T) == max(T.tRAS, 40 + T.tRTP)
+
+    def test_earliest_precharge_respects_write_recovery(self):
+        state = SubarrayState()
+        state.activate(0, 0)
+        state.last_write_data_end = 50
+        assert state.earliest_precharge(T) == 50 + T.tWR
+
+    def test_write_recovery_can_be_overlapped(self):
+        # SALP-2: tWR does not gate the PRE when switching subarrays,
+        # but the PRE can never precede the write data itself.
+        state = SubarrayState()
+        state.activate(0, 0)
+        state.last_write_data_end = 50
+        relaxed = state.earliest_precharge(T, ignore_write_recovery=True)
+        assert relaxed == 50
+        assert relaxed < state.earliest_precharge(T)
+
+    def test_precharge_closes_and_schedules_trp(self):
+        state = SubarrayState()
+        state.activate(3, 0)
+        state.precharge(100, T)
+        assert not state.is_open
+        assert state.precharge_done == 100 + T.tRP
+        assert state.act_cycle == NEVER
+
+
+class TestBankState:
+    def test_lazy_subarray_creation(self):
+        bank = BankState(num_subarrays=4)
+        assert bank.subarray(2) is bank.subarray(2)
+
+    def test_subarray_out_of_range(self):
+        bank = BankState(num_subarrays=4)
+        with pytest.raises(SchedulingError):
+            bank.subarray(4)
+
+    def test_open_subarrays_lists_activated(self):
+        bank = BankState(num_subarrays=4)
+        bank.subarray(1).activate(5, 0)
+        bank.subarray(3).activate(9, 10)
+        assert sorted(bank.open_subarrays) == [1, 3]
+
+    def test_the_open_subarray_single(self):
+        bank = BankState(num_subarrays=4)
+        assert bank.the_open_subarray() is None
+        bank.subarray(2).activate(0, 0)
+        assert bank.the_open_subarray() == 2
+
+    def test_the_open_subarray_rejects_multiple(self):
+        bank = BankState(num_subarrays=4)
+        bank.subarray(0).activate(0, 0)
+        bank.subarray(1).activate(0, 5)
+        with pytest.raises(SchedulingError):
+            bank.the_open_subarray()
+
+    def test_lru_eviction_order(self):
+        bank = BankState(num_subarrays=4)
+        bank.subarray(0).activate(0, 0)
+        bank.subarray(1).activate(0, 10)
+        bank.subarray(0).last_use = 50  # bank 0 touched again
+        assert bank.lru_open_subarray() == 1
+
+    def test_lru_requires_open_subarray(self):
+        with pytest.raises(SchedulingError):
+            BankState(num_subarrays=4).lru_open_subarray()
+
+
+class TestRankState:
+    def test_trrd_spacing(self):
+        rank = RankState()
+        rank.record_activate(100)
+        assert rank.earliest_activate(T) == 100 + T.tRRD
+
+    def test_tfaw_window(self):
+        rank = RankState()
+        for cycle in (0, 5, 10, 15):
+            rank.record_activate(cycle)
+        # The fifth ACT must wait for the sliding four-ACT window.
+        assert rank.earliest_activate(T) == max(15 + T.tRRD, 0 + T.tFAW)
+
+    def test_act_history_bounded(self):
+        rank = RankState()
+        for cycle in range(0, 200, 10):
+            rank.record_activate(cycle)
+        assert len(rank.act_history) <= 8
+
+    def test_read_after_write_turnaround(self):
+        rank = RankState()
+        rank.last_write_data_end = 200
+        assert rank.earliest_read(T) == 200 + T.tWTR
+
+    def test_write_after_read_turnaround(self):
+        rank = RankState()
+        rank.last_read_issue = 300
+        assert rank.earliest_write(T) == 300 + T.tRTW
+
+    def test_command_slot_skips_occupied(self):
+        rank = RankState()
+        rank.record_command(5)
+        rank.record_command(6)
+        assert rank.next_command_slot(5) == 7
+
+    def test_double_booking_rejected(self):
+        rank = RankState()
+        rank.record_command(5)
+        with pytest.raises(SchedulingError):
+            rank.record_command(5)

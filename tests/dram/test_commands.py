@@ -1,0 +1,92 @@
+"""Tests for repro.dram.commands."""
+
+import pytest
+
+from repro.dram.address import Coordinate
+from repro.dram.commands import (
+    Command,
+    CommandKind,
+    CommandTrace,
+    Request,
+    RequestKind,
+    ServicedRequest,
+)
+
+
+ORIGIN = Coordinate()
+
+
+class TestRequest:
+    def test_read_constructor(self):
+        request = Request.read(ORIGIN, tag="ifms")
+        assert request.kind is RequestKind.READ
+        assert request.tag == "ifms"
+
+    def test_write_constructor(self):
+        assert Request.write(ORIGIN).kind is RequestKind.WRITE
+
+    def test_column_commands_flagged(self):
+        assert CommandKind.RD.is_column
+        assert CommandKind.WR.is_column
+        assert not CommandKind.ACT.is_column
+        assert not CommandKind.PRE.is_column
+
+
+class TestServicedRequest:
+    def test_exactly_one_outcome_required(self):
+        with pytest.raises(ValueError):
+            ServicedRequest(
+                request=Request.read(ORIGIN), issue_cycle=0, data_cycle=10,
+                row_hit=True, row_miss=True, row_conflict=False)
+
+    def test_no_outcome_rejected(self):
+        with pytest.raises(ValueError):
+            ServicedRequest(
+                request=Request.read(ORIGIN), issue_cycle=0, data_cycle=10,
+                row_hit=False, row_miss=False, row_conflict=False)
+
+    def test_valid_outcome(self):
+        record = ServicedRequest(
+            request=Request.read(ORIGIN), issue_cycle=0, data_cycle=10,
+            row_hit=False, row_miss=True, row_conflict=False)
+        assert record.row_miss
+
+
+def _trace():
+    commands = [
+        Command(CommandKind.ACT, 0, ORIGIN),
+        Command(CommandKind.RD, 11, ORIGIN),
+        Command(CommandKind.RD, 15, ORIGIN.replace(column=1)),
+        Command(CommandKind.PRE, 40, ORIGIN),
+        Command(CommandKind.WR, 60, ORIGIN),
+    ]
+    serviced = [
+        ServicedRequest(Request.read(ORIGIN), 0, 26,
+                        row_hit=False, row_miss=True, row_conflict=False),
+        ServicedRequest(Request.read(ORIGIN.replace(column=1)), 15, 30,
+                        row_hit=True, row_miss=False, row_conflict=False),
+        ServicedRequest(Request.write(ORIGIN), 60, 72,
+                        row_hit=False, row_miss=False, row_conflict=True),
+    ]
+    return CommandTrace(commands=commands, serviced=serviced,
+                        total_cycles=72)
+
+
+class TestCommandTrace:
+    def test_command_counters(self):
+        trace = _trace()
+        assert trace.num_activations == 1
+        assert trace.num_precharges == 1
+        assert trace.num_reads == 2
+        assert trace.num_writes == 1
+
+    def test_outcome_counters(self):
+        trace = _trace()
+        assert trace.row_hits == 1
+        assert trace.row_misses == 1
+        assert trace.row_conflicts == 1
+
+    def test_counters_sum_to_serviced(self):
+        trace = _trace()
+        assert trace.row_hits + trace.row_misses + trace.row_conflicts \
+            == len(trace.serviced)

@@ -1,0 +1,109 @@
+"""Property-based tests: controller legality on random request streams.
+
+For any request stream and any architecture, the scheduled command
+trace must satisfy the structural DRAM rules: no column command to a
+closed or wrong row, no double activation, tRCD/tRP/tRAS/tRRD spacing,
+unique command-bus slots, non-overlapping data bursts, and FCFS data
+ordering.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.address import Coordinate
+from repro.dram.architecture import ALL_ARCHITECTURES, behavior_of
+from repro.dram.commands import CommandKind, Request, RequestKind
+from repro.dram.controller import MemoryController
+from repro.dram.presets import TINY_ORGANIZATION as ORG
+from repro.dram.timing import DDR3_1600_TIMINGS as T
+
+coordinates = st.builds(
+    Coordinate,
+    bank=st.integers(0, ORG.banks_per_chip - 1),
+    subarray=st.integers(0, ORG.subarrays_per_bank - 1),
+    row=st.integers(0, 3),
+    column=st.integers(0, ORG.bursts_per_row - 1),
+)
+requests = st.builds(
+    Request,
+    kind=st.sampled_from([RequestKind.READ, RequestKind.WRITE]),
+    coordinate=coordinates,
+)
+streams = st.lists(requests, min_size=1, max_size=40)
+architectures = st.sampled_from(ALL_ARCHITECTURES)
+
+
+@given(stream=streams, architecture=architectures)
+@settings(max_examples=150, deadline=None)
+def test_trace_is_structurally_legal(stream, architecture):
+    controller = MemoryController(ORG, T, architecture)
+    trace = controller.run(stream)
+
+    open_rows = {}
+    last_act = {}
+    last_pre = {}
+    for command in sorted(trace.commands, key=lambda c: c.cycle):
+        key = command.coordinate.subarray_key
+        if command.kind is CommandKind.ACT:
+            assert key not in open_rows
+            if key in last_pre:
+                # tRP after this subarray's own precharge.
+                assert command.cycle >= last_pre[key] + T.tRP
+            open_rows[key] = command.coordinate.row
+            last_act[key] = command.cycle
+        elif command.kind is CommandKind.PRE:
+            assert key in open_rows
+            assert command.cycle >= last_act[key] + T.tRAS
+            del open_rows[key]
+            last_pre[key] = command.cycle
+        elif command.kind.is_column:
+            assert open_rows.get(key) == command.coordinate.row
+            assert command.cycle >= last_act[key] + T.tRCD
+
+
+@given(stream=streams, architecture=architectures)
+@settings(max_examples=100, deadline=None)
+def test_command_bus_never_double_booked(stream, architecture):
+    trace = MemoryController(ORG, T, architecture).run(stream)
+    cycles = [c.cycle for c in trace.commands]
+    assert len(cycles) == len(set(cycles))
+
+
+@given(stream=streams, architecture=architectures)
+@settings(max_examples=100, deadline=None)
+def test_data_bursts_ordered_and_disjoint(stream, architecture):
+    trace = MemoryController(ORG, T, architecture).run(stream)
+    ends = [s.data_cycle for s in trace.serviced]
+    # FCFS: data completes in request order.
+    assert ends == sorted(ends)
+    gaps = [b - a for a, b in zip(ends, ends[1:])]
+    assert all(gap >= T.tBL for gap in gaps)
+
+
+@given(stream=streams, architecture=architectures)
+@settings(max_examples=100, deadline=None)
+def test_every_request_serviced_with_one_outcome(stream, architecture):
+    trace = MemoryController(ORG, T, architecture).run(stream)
+    assert len(trace.serviced) == len(stream)
+    assert trace.row_hits + trace.row_misses + trace.row_conflicts \
+        == len(stream)
+
+
+@given(stream=streams, architecture=architectures)
+@settings(max_examples=60, deadline=None)
+def test_activation_budget_respected(stream, architecture):
+    """No architecture ever exceeds its activated-subarray budget."""
+    controller = MemoryController(ORG, T, architecture)
+    trace = controller.run(stream)
+    behavior = behavior_of(architecture)
+    budget = (min(behavior.max_activated_subarrays,
+                  ORG.subarrays_per_bank)
+              if behavior.multiple_activated_subarrays else 1)
+    open_per_bank = {}
+    for command in sorted(trace.commands, key=lambda c: c.cycle):
+        bank_key = command.coordinate.bank_key
+        per_bank = open_per_bank.setdefault(bank_key, set())
+        if command.kind is CommandKind.ACT:
+            per_bank.add(command.coordinate.subarray)
+            assert len(per_bank) <= budget
+        elif command.kind is CommandKind.PRE:
+            per_bank.discard(command.coordinate.subarray)

@@ -1,0 +1,38 @@
+"""Tests for the Table-II DRAM presets."""
+
+from repro.dram.architecture import DRAMArchitecture
+from repro.dram.presets import (
+    DDR3_1600_2GB_X8,
+    SALP_2GB_X8,
+    TINY_ORGANIZATION,
+    organization_for,
+)
+
+
+class TestTable2Presets:
+    def test_table2_channel_topology(self):
+        assert DDR3_1600_2GB_X8.channels == 1
+        assert DDR3_1600_2GB_X8.ranks_per_channel == 1
+        assert DDR3_1600_2GB_X8.chips_per_rank == 1
+
+    def test_table2_banks_and_subarrays(self):
+        assert DDR3_1600_2GB_X8.banks_per_chip == 8
+        assert DDR3_1600_2GB_X8.subarrays_per_bank == 8
+
+    def test_salp_shares_geometry(self):
+        assert SALP_2GB_X8 is DDR3_1600_2GB_X8
+
+    def test_organization_for_every_architecture(self):
+        for arch in DRAMArchitecture:
+            assert organization_for(arch) is DDR3_1600_2GB_X8
+
+
+class TestTinyOrganization:
+    def test_smaller_than_table2(self):
+        assert TINY_ORGANIZATION.total_bytes < DDR3_1600_2GB_X8.total_bytes
+
+    def test_still_has_all_dimensions(self):
+        assert TINY_ORGANIZATION.banks_per_chip > 1
+        assert TINY_ORGANIZATION.subarrays_per_bank > 1
+        assert TINY_ORGANIZATION.rows_per_subarray > 1
+        assert TINY_ORGANIZATION.bursts_per_row > 1

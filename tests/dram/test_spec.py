@@ -1,0 +1,90 @@
+"""Tests for repro.dram.spec."""
+
+import pytest
+
+from repro.dram.spec import DRAMOrganization
+from repro.errors import ConfigurationError
+
+
+class TestTable2Geometry:
+    """The paper's 2 Gb x8 device must decompose correctly."""
+
+    def test_chip_density_is_2gb(self, table2_org):
+        assert table2_org.chip_megabits == 2048
+
+    def test_row_holds_1kb(self, table2_org):
+        assert table2_org.row_bytes == 1024
+
+    def test_bursts_per_row(self, table2_org):
+        # 1024 column addresses / BL8 = 128 burst slots.
+        assert table2_org.bursts_per_row == 128
+
+    def test_bytes_per_burst(self, table2_org):
+        # x8 device, BL8, one chip per rank -> 8 bytes per access.
+        assert table2_org.bytes_per_burst == 8
+
+    def test_rows_per_subarray(self, table2_org):
+        assert table2_org.rows_per_subarray == 32768 // 8
+
+    def test_total_capacity_256mb(self, table2_org):
+        assert table2_org.total_bytes == 256 * 1024 * 1024
+
+    def test_subarray_bytes(self, table2_org):
+        assert table2_org.subarray_bytes \
+            == table2_org.bank_bytes // table2_org.subarrays_per_bank
+
+
+class TestAccessCounting:
+    def test_zero_bytes_zero_accesses(self, table2_org):
+        assert table2_org.accesses_for_bytes(0) == 0
+
+    def test_partial_burst_rounds_up(self, table2_org):
+        assert table2_org.accesses_for_bytes(1) == 1
+        assert table2_org.accesses_for_bytes(9) == 2
+
+    def test_exact_bursts(self, table2_org):
+        assert table2_org.accesses_for_bytes(64 * 1024) == 8192
+
+    def test_negative_bytes_rejected(self, table2_org):
+        with pytest.raises(ConfigurationError):
+            table2_org.accesses_for_bytes(-1)
+
+
+class TestValidation:
+    def test_rows_must_divide_subarrays(self):
+        with pytest.raises(ConfigurationError):
+            DRAMOrganization(rows_per_bank=100, subarrays_per_bank=8)
+
+    def test_columns_must_be_burst_multiple(self):
+        with pytest.raises(ConfigurationError):
+            DRAMOrganization(columns_per_row=1004, burst_length=8)
+
+    def test_rejects_zero_banks(self):
+        with pytest.raises(ConfigurationError):
+            DRAMOrganization(banks_per_chip=0)
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(ConfigurationError):
+            DRAMOrganization(banks_per_chip=8.0)
+
+    def test_rejects_odd_device_width(self):
+        with pytest.raises(ConfigurationError):
+            DRAMOrganization(device_width_bits=7)
+
+
+class TestHelpers:
+    def test_with_subarrays(self, table2_org):
+        single = table2_org.with_subarrays(1)
+        assert single.subarrays_per_bank == 1
+        assert single.rows_per_subarray == table2_org.rows_per_bank
+        # The original is unchanged (frozen dataclass).
+        assert table2_org.subarrays_per_bank == 8
+
+    def test_describe_mentions_geometry(self, table2_org):
+        text = table2_org.describe()
+        assert "8 banks" in text
+        assert "8 subarrays/bank" in text
+
+    def test_multi_chip_rank_scales_burst_bytes(self):
+        wide = DRAMOrganization(chips_per_rank=8)
+        assert wide.bytes_per_burst == 64

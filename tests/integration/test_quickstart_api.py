@@ -1,0 +1,47 @@
+"""Tests for the top-level convenience API."""
+
+import pytest
+
+import repro
+from repro import quick_layer_edp
+from repro.cnn import TilingConfig, alexnet
+from repro.dram import DRAMArchitecture
+from repro.mapping import DRMAP, MAPPING_2
+
+
+class TestQuickLayerEDP:
+    def test_default_call(self):
+        layer = alexnet()[0]
+        result = quick_layer_edp(layer, DRMAP)
+        assert result.edp_js > 0
+        assert result.layer_name == "CONV1"
+
+    def test_explicit_tiling(self):
+        layer = alexnet()[2]
+        tiling = TilingConfig(th=13, tw=13, tj=8, ti=8)
+        result = quick_layer_edp(
+            layer, DRMAP, DRAMArchitecture.SALP_1, tiling=tiling)
+        assert result.edp_js > 0
+
+    def test_drmap_beats_mapping2(self):
+        layer = alexnet()[1]
+        drmap = quick_layer_edp(layer, DRMAP)
+        mapping2 = quick_layer_edp(layer, MAPPING_2)
+        assert drmap.edp_js < mapping2.edp_js
+
+    def test_version_exposed(self):
+        assert repro.__version__
+
+
+class TestPublicExports:
+    def test_errors_reachable_from_root(self):
+        assert issubclass(repro.MappingError, repro.ReproError)
+
+    def test_key_types_reachable(self):
+        assert repro.ConvLayer is not None
+        assert repro.DRAMArchitecture is not None
+        assert repro.TilingConfig is not None
+
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

@@ -1,0 +1,76 @@
+"""Tests for the Table-I mapping catalog."""
+
+import pytest
+
+from repro.mapping.catalog import (
+    DEFAULT_MAPPING,
+    DRMAP,
+    MAPPING_3,
+    MAPPINGS_BY_INDEX,
+    TABLE1_MAPPINGS,
+    mapping_by_index,
+)
+from repro.mapping.dims import Dim
+
+
+class TestTable1:
+    """The loop orders must match Table I exactly (inner -> outer)."""
+
+    EXPECTED = {
+        1: (Dim.COLUMN, Dim.SUBARRAY, Dim.BANK, Dim.ROW),
+        2: (Dim.SUBARRAY, Dim.COLUMN, Dim.BANK, Dim.ROW),
+        3: (Dim.COLUMN, Dim.BANK, Dim.SUBARRAY, Dim.ROW),
+        4: (Dim.BANK, Dim.COLUMN, Dim.SUBARRAY, Dim.ROW),
+        5: (Dim.SUBARRAY, Dim.BANK, Dim.COLUMN, Dim.ROW),
+        6: (Dim.BANK, Dim.SUBARRAY, Dim.COLUMN, Dim.ROW),
+    }
+
+    @pytest.mark.parametrize("index", range(1, 7))
+    def test_loop_order(self, index):
+        assert mapping_by_index(index).loop_order == self.EXPECTED[index]
+
+    def test_six_policies(self):
+        assert len(TABLE1_MAPPINGS) == 6
+        assert len(MAPPINGS_BY_INDEX) == 6
+
+    def test_all_have_row_outermost(self):
+        """The paper narrows the space to row-outermost policies."""
+        for policy in TABLE1_MAPPINGS:
+            assert policy.loop_order[-1] is Dim.ROW
+
+    def test_all_distinct(self):
+        orders = {policy.loop_order for policy in TABLE1_MAPPINGS}
+        assert len(orders) == 6
+
+    def test_unknown_index_rejected(self):
+        with pytest.raises(KeyError):
+            mapping_by_index(7)
+        with pytest.raises(KeyError):
+            mapping_by_index(0)
+
+
+class TestDRMap:
+    def test_drmap_is_mapping_3(self):
+        assert DRMAP is MAPPING_3
+
+    def test_drmap_priority_order(self):
+        """DRMap: row-buffer hits first, then bank-, then subarray-level
+        parallelism, rows last (paper Section III-A)."""
+        assert DRMAP.loop_order == (
+            Dim.COLUMN, Dim.BANK, Dim.SUBARRAY, Dim.ROW)
+
+    def test_drmap_name_mentions_drmap(self):
+        assert "DRMap" in DRMAP.name
+
+
+class TestDefaultMapping:
+    def test_default_is_subarray_oblivious(self):
+        """The commodity default interleaves columns then banks and
+        leaves subarray selection to the row address."""
+        assert DEFAULT_MAPPING.loop_order[0] is Dim.COLUMN
+        assert DEFAULT_MAPPING.loop_order[1] is Dim.BANK
+        assert DEFAULT_MAPPING.loop_order.index(Dim.ROW) \
+            < DEFAULT_MAPPING.loop_order.index(Dim.SUBARRAY)
+
+    def test_default_not_in_table1(self):
+        assert DEFAULT_MAPPING not in TABLE1_MAPPINGS

@@ -1,0 +1,46 @@
+"""Tests for repro.mapping.dims."""
+
+from repro.dram.presets import DDR3_1600_2GB_X8, TINY_ORGANIZATION
+from repro.mapping.dims import (
+    Dim,
+    INTRA_CHIP_DIMS,
+    OUTER_DIMS,
+    dim_size,
+)
+
+
+class TestDimSizes:
+    def test_column_counts_bursts(self):
+        assert dim_size(Dim.COLUMN, DDR3_1600_2GB_X8) == 128
+
+    def test_bank_size(self):
+        assert dim_size(Dim.BANK, DDR3_1600_2GB_X8) == 8
+
+    def test_subarray_size(self):
+        assert dim_size(Dim.SUBARRAY, DDR3_1600_2GB_X8) == 8
+
+    def test_row_is_subarray_local(self):
+        assert dim_size(Dim.ROW, DDR3_1600_2GB_X8) == 4096
+
+    def test_rank_channel(self):
+        assert dim_size(Dim.RANK, DDR3_1600_2GB_X8) == 1
+        assert dim_size(Dim.CHANNEL, DDR3_1600_2GB_X8) == 1
+
+    def test_product_covers_capacity(self):
+        for org in (DDR3_1600_2GB_X8, TINY_ORGANIZATION):
+            product = 1
+            for dim in list(INTRA_CHIP_DIMS) + list(OUTER_DIMS):
+                product *= dim_size(dim, org)
+            assert product == org.total_bytes // org.bytes_per_burst
+
+
+class TestConstants:
+    def test_intra_chip_dims(self):
+        assert set(INTRA_CHIP_DIMS) \
+            == {Dim.COLUMN, Dim.BANK, Dim.SUBARRAY, Dim.ROW}
+
+    def test_outer_dims_order(self):
+        assert OUTER_DIMS == (Dim.RANK, Dim.CHANNEL)
+
+    def test_str(self):
+        assert str(Dim.SUBARRAY) == "subarray"

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestCharacterize:
+    def test_all_architectures(self, capsys):
+        code, out = run_cli(capsys, "characterize")
+        assert code == 0
+        for name in ("DDR3", "SALP-1", "SALP-2", "SALP-MASA"):
+            assert name in out
+        assert "row-hit" in out
+
+    def test_single_architecture(self, capsys):
+        code, out = run_cli(capsys, "characterize", "--arch", "SALP-MASA")
+        assert code == 0
+        assert "SALP-MASA" in out
+        assert "SALP-1" not in out
+
+    def test_unknown_architecture(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["characterize", "--arch", "DDR9"])
+
+
+class TestEdp:
+    def test_single_layer_all_mappings(self, capsys):
+        code, out = run_cli(
+            capsys, "edp", "--model", "lenet5", "--layer", "C1")
+        assert code == 0
+        assert "Mapping-3 (DRMap)" in out
+        assert "EDP [J*s]" in out
+
+    def test_single_mapping(self, capsys):
+        code, out = run_cli(
+            capsys, "edp", "--model", "lenet5", "--layer", "C1",
+            "--mapping", "3")
+        assert code == 0
+        assert "Mapping-3" in out
+        assert "Mapping-2" not in out
+
+    def test_unknown_layer(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["edp", "--model", "lenet5", "--layer", "NOPE"])
+
+
+class TestDse:
+    def test_lenet_dse(self, capsys):
+        code, out = run_cli(capsys, "dse", "--model", "lenet5")
+        assert code == 0
+        assert "TOTAL" in out
+        # Algorithm 1 must pick DRMap on every LeNet layer.
+        assert "Mapping-3 (DRMap)" in out
+        assert "Mapping-2" not in out.replace("Mapping-3", "")
+
+
+class TestTraffic:
+    def test_traffic_table(self, capsys):
+        code, out = run_cli(capsys, "traffic", "--model", "lenet5")
+        assert code == 0
+        for scheme in ("ifms-reuse", "wghs-reuse", "ofms-reuse"):
+            assert scheme in out
+
+
+class TestModels:
+    def test_lists_registry(self, capsys):
+        code, out = run_cli(capsys, "models")
+        assert code == 0
+        for name in ("alexnet", "vgg16", "lenet5", "tiny"):
+            assert name in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dse", "--model", "resnet-9000"])

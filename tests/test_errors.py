@@ -1,0 +1,31 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize("exc_class", [
+    errors.ConfigurationError,
+    errors.CapacityError,
+    errors.SchedulingError,
+    errors.MappingError,
+    errors.DseError,
+])
+def test_all_derive_from_repro_error(exc_class):
+    assert issubclass(exc_class, errors.ReproError)
+
+
+def test_repro_error_is_exception():
+    assert issubclass(errors.ReproError, Exception)
+
+
+def test_catching_base_catches_specific():
+    with pytest.raises(errors.ReproError):
+        raise errors.MappingError("loop order broken")
+
+
+def test_distinct_branches():
+    # Configuration and scheduling problems are separate branches.
+    assert not issubclass(errors.SchedulingError, errors.ConfigurationError)
+    assert not issubclass(errors.ConfigurationError, errors.SchedulingError)

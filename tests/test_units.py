@@ -1,0 +1,90 @@
+"""Tests for repro.units."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestTimeConversions:
+    def test_ns_to_s_round_trip(self):
+        assert units.s_to_ns(units.ns_to_s(123.0)) == pytest.approx(123.0)
+
+    def test_ns_to_s_magnitude(self):
+        assert units.ns_to_s(1e9) == pytest.approx(1.0)
+
+    def test_cycles_to_ns(self):
+        assert units.cycles_to_ns(10, 1.25) == pytest.approx(12.5)
+
+    def test_ns_to_cycles_rounds_up(self):
+        assert units.ns_to_cycles(13.75, 1.25) == 11
+        assert units.ns_to_cycles(13.80, 1.25) == 12
+
+    def test_ns_to_cycles_exact_boundary(self):
+        # 15 ns at 1.25 ns/cycle is exactly 12 cycles, not 13.
+        assert units.ns_to_cycles(15.0, 1.25) == 12
+
+
+class TestEnergyConversions:
+    def test_nj_to_j_round_trip(self):
+        assert units.j_to_nj(units.nj_to_j(42.0)) == pytest.approx(42.0)
+
+    def test_edp_joule_seconds(self):
+        # 1e9 nJ over 1e9 ns is 1 J over 1 s -> 1 J*s.
+        assert units.edp_joule_seconds(1e9, 1e9) == pytest.approx(1.0)
+
+    def test_edp_scales_bilinearly(self):
+        base = units.edp_joule_seconds(100.0, 200.0)
+        assert units.edp_joule_seconds(200.0, 200.0) \
+            == pytest.approx(2 * base)
+        assert units.edp_joule_seconds(100.0, 400.0) \
+            == pytest.approx(2 * base)
+
+
+class TestFormatting:
+    def test_format_si_zero(self):
+        assert units.format_si(0, "J") == "0 J"
+
+    def test_format_si_milli(self):
+        assert units.format_si(2.5e-3, "J") == "2.5 mJ"
+
+    def test_format_si_kilo(self):
+        assert units.format_si(1500.0, "B/s") == "1.5 kB/s"
+
+    def test_format_si_nano(self):
+        assert "nJ" in units.format_si(3.2e-9, "J")
+
+    def test_format_bytes_small(self):
+        assert units.format_bytes(17) == "17 B"
+
+    def test_format_bytes_exact_kb(self):
+        assert units.format_bytes(64 * 1024) == "64 KB"
+
+    def test_format_bytes_fractional_mb(self):
+        assert units.format_bytes(int(2.5 * 1024 * 1024)) == "2.50 MB"
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert units.ceil_div(8, 4) == 2
+
+    def test_rounds_up(self):
+        assert units.ceil_div(9, 4) == 3
+
+    def test_zero_numerator(self):
+        assert units.ceil_div(0, 4) == 0
+
+    def test_rejects_zero_denominator(self):
+        with pytest.raises(ValueError):
+            units.ceil_div(1, 0)
+
+    def test_rejects_negative_numerator(self):
+        with pytest.raises(ValueError):
+            units.ceil_div(-1, 4)
+
+    def test_matches_math_ceil(self):
+        for numerator in range(0, 50):
+            for denominator in range(1, 9):
+                assert units.ceil_div(numerator, denominator) \
+                    == math.ceil(numerator / denominator)
