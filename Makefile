@@ -1,0 +1,18 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench lint
+
+## tier-1 verification: the full unit/property/integration/benchmark suite
+test:
+	$(PYTHON) -m pytest -x -q
+
+## paper-artifact benchmarks only, with pytest-benchmark timings
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q
+
+## byte-compile everything and make sure the test suite collects cleanly
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+	$(PYTHON) -m pytest --collect-only -q > /dev/null
+	@echo "lint OK"

@@ -1,0 +1,9 @@
+"""Benchmark harness package.
+
+Making ``benchmarks/`` a package lets its modules use relative imports
+(``from ._fig9 import ...``) under pytest's default importmode, which
+resolves them as ``benchmarks.test_*`` relative to the repository
+root.  Run the suite with::
+
+    PYTHONPATH=src python -m pytest benchmarks/ -q
+"""

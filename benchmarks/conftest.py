@@ -46,4 +46,8 @@ def alexnet_dse(alexnet_layers, characterizations):
     buffer-admissible power-of-two tiling.  Computed once per session.
     """
     del characterizations  # ensure Fig.-1 costs are cached first
-    return {layer.name: explore_layer(layer) for layer in alexnet_layers}
+    from repro.core.engine import ExplorationEngine
+
+    engine = ExplorationEngine(jobs=1)
+    return {layer.name: explore_layer(layer, engine=engine)
+            for layer in alexnet_layers}

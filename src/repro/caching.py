@@ -1,0 +1,78 @@
+"""Bounded LRU memoization with hit/miss accounting.
+
+One implementation shared by every cache in the library — the Fig.-1
+characterization cache (:mod:`repro.dram.characterize`) and the DSE
+engine's evaluation memos (:mod:`repro.core.engine`) — so eviction and
+accounting behavior cannot drift between them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of a cache."""
+
+    hits: int
+    misses: int
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class LRUMemo:
+    """A bounded memo dict: least-recently-used entries are evicted.
+
+    Cached values must not be ``None`` (``None`` marks a miss).
+    """
+
+    __slots__ = ("maxsize", "entries", "hits", "misses")
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self.entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def stats(self) -> CacheStats:
+        """Current hit/miss counters."""
+        return CacheStats(hits=self.hits, misses=self.misses)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def get_or_compute(self, key, compute: Callable):
+        """The cached value for ``key``, computing it on first use."""
+        cached = self.entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self.entries.move_to_end(key)
+            return cached
+        self.misses += 1
+        value = compute()
+        self.entries[key] = value
+        if len(self.entries) > self.maxsize:
+            self.entries.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self.entries.clear()
+        self.hits = 0
+        self.misses = 0

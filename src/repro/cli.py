@@ -5,12 +5,23 @@ Usage::
     python -m repro characterize [--arch DDR3]
     python -m repro edp --model alexnet --layer CONV2 [--mapping 3]
     python -m repro dse --model alexnet [--arch SALP-MASA] [--layer FC6]
+                        [--jobs N] [--chunk-size M]
     python -m repro traffic --model alexnet
     python -m repro models
 
 Each subcommand prints the same plain-text tables the benchmark
 harness produces, so the paper's experiments are reachable without
 writing any Python.
+
+``dse`` runs on the sharded :mod:`repro.core.engine`:
+
+``--jobs N``
+    Worker processes for the exploration grid.  ``1`` (default) stays
+    in-process; ``0`` spawns one worker per CPU.  Output is identical
+    for every value — shards merge deterministically in grid order.
+``--chunk-size M``
+    Grid points per shard (default 256).  Smaller chunks smooth load
+    balancing across workers; larger chunks cut scheduling overhead.
 """
 
 from __future__ import annotations
@@ -98,11 +109,23 @@ def cmd_edp(args: argparse.Namespace) -> int:
 
 def cmd_dse(args: argparse.Namespace) -> int:
     """Algorithm 1: min-EDP design point per layer."""
+    from .core.engine import DEFAULT_CHUNK_SIZE, ExplorationEngine
+
     architecture = _architecture(args.arch)
+    if args.jobs < 0:
+        raise SystemExit(f"--jobs must be >= 0, got {args.jobs}")
+    if args.chunk_size is not None and args.chunk_size <= 0:
+        raise SystemExit(
+            f"--chunk-size must be positive, got {args.chunk_size}")
+    engine = ExplorationEngine(
+        jobs=args.jobs,
+        chunk_size=(args.chunk_size if args.chunk_size is not None
+                    else DEFAULT_CHUNK_SIZE))
     rows = []
     total = 0.0
     for layer in _layers(args.model, args.layer):
-        result = explore_layer(layer, architectures=(architecture,))
+        result = explore_layer(
+            layer, architectures=(architecture,), engine=engine)
         best = result.best()
         total += best.edp_js
         tiling = best.tiling
@@ -181,6 +204,14 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=sorted(MODEL_REGISTRY))
     p_dse.add_argument("--layer", default=None)
     p_dse.add_argument("--arch", default="DDR3")
+    p_dse.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the exploration grid "
+             "(1: in-process, 0: one per CPU); results are identical "
+             "for every value")
+    p_dse.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="grid points per shard (default: 256)")
     p_dse.set_defaults(func=cmd_dse)
 
     p_traffic = subparsers.add_parser(

@@ -18,8 +18,16 @@ from .dse import (
     min_edp_series,
 )
 from .edp import LayerEDP, NetworkEDP, layer_edp, network_edp
+from .engine import (
+    DEFAULT_CHUNK_SIZE,
+    EvaluationCache,
+    ExplorationEngine,
+    ExplorationProgress,
+    ReducedExploration,
+)
 from .pareto import (
     ObjectivePoint,
+    ParetoAccumulator,
     hypervolume_2d,
     pareto_front,
     points_from_dse,
@@ -45,13 +53,19 @@ from .walk_edp import layer_edp_via_walk, walk_cost
 
 __all__ = [
     "AccessCost",
+    "DEFAULT_CHUNK_SIZE",
     "DIM_TO_CONDITION",
     "DsePoint",
     "DseResult",
+    "EvaluationCache",
+    "ExplorationEngine",
+    "ExplorationProgress",
     "INITIAL_ACCESS_CONDITION",
     "LayerEDP",
     "NetworkEDP",
     "ObjectivePoint",
+    "ParetoAccumulator",
+    "ReducedExploration",
     "SweepPoint",
     "ZERO_COST",
     "bar_chart",

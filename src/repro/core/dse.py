@@ -10,6 +10,12 @@ For each layer of a network the DSE sweeps
 estimates the EDP of every admissible combination with the analytical
 model (step 3), and returns both the full exploration record and the
 minimum-EDP choice.
+
+Execution is delegated to :mod:`repro.core.engine`: pass ``jobs`` /
+``chunk_size`` (or a pre-built :class:`~repro.core.engine.ExplorationEngine`)
+to shard the grid across worker processes.  Results are identical for
+every ``jobs`` value — points come back in the serial nested-loop
+order.
 """
 
 from __future__ import annotations
@@ -19,20 +25,14 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..cnn.layer import ConvLayer
 from ..cnn.scheduling import ALL_SCHEMES, ReuseScheme
-from ..cnn.tiling import (
-    BufferConfig,
-    TABLE2_BUFFERS,
-    TilingConfig,
-    enumerate_tilings,
-)
+from ..cnn.tiling import BufferConfig, TABLE2_BUFFERS, TilingConfig
 from ..dram.architecture import ALL_ARCHITECTURES, DRAMArchitecture
-from ..dram.characterize import characterize_preset
 from ..dram.presets import DDR3_1600_2GB_X8
 from ..dram.spec import DRAMOrganization
 from ..errors import DseError
 from ..mapping.catalog import TABLE1_MAPPINGS
 from ..mapping.policy import MappingPolicy
-from .edp import LayerEDP, layer_edp
+from .edp import LayerEDP
 
 
 @dataclass(frozen=True)
@@ -100,6 +100,18 @@ class DseResult:
         self.points.extend(other.points)
 
 
+def _engine_for(jobs, chunk_size, engine):
+    """Resolve the execution engine for the explore_* entry points."""
+    from .engine import DEFAULT_CHUNK_SIZE, ExplorationEngine
+
+    if engine is not None:
+        return engine
+    return ExplorationEngine(
+        jobs=jobs,
+        chunk_size=(chunk_size if chunk_size is not None
+                    else DEFAULT_CHUNK_SIZE))
+
+
 def explore_layer(
     layer: ConvLayer,
     architectures: Sequence[DRAMArchitecture] = ALL_ARCHITECTURES,
@@ -108,6 +120,9 @@ def explore_layer(
     buffers: BufferConfig = TABLE2_BUFFERS,
     organization: DRAMOrganization = DDR3_1600_2GB_X8,
     tilings: Optional[Iterable[TilingConfig]] = None,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    engine=None,
 ) -> DseResult:
     """Algorithm 1 for one layer: evaluate every admissible combination.
 
@@ -116,49 +131,37 @@ def explore_layer(
     tilings:
         Candidate tilings; by default the buffer-maximal power-of-two
         grid of :func:`repro.cnn.tiling.enumerate_tilings`.
+    jobs / chunk_size:
+        Sharding knobs, forwarded to
+        :class:`repro.core.engine.ExplorationEngine`; ``jobs=1``
+        evaluates in-process, ``jobs=0`` uses every CPU.
+    engine:
+        Pre-built engine to run on (overrides ``jobs``/``chunk_size``);
+        reusing one engine across calls shares its evaluation caches.
     """
-    if tilings is None:
-        tilings = enumerate_tilings(layer, buffers)
-    tilings = list(tilings)
-    if not tilings:
-        raise DseError(f"no candidate tilings provided for {layer.name}")
-
-    result = DseResult()
-    for architecture in architectures:
-        characterization = characterize_preset(architecture)
-        for scheme in schemes:
-            for policy in policies:
-                for tiling in tilings:
-                    if not tiling.fits(layer, buffers):
-                        continue  # Algorithm 1, line 9
-                    point_result = layer_edp(
-                        layer, tiling, scheme, policy, architecture,
-                        organization=organization,
-                        characterization=characterization,
-                    )
-                    result.points.append(DsePoint(
-                        layer_name=layer.name,
-                        architecture=architecture,
-                        scheme=scheme,
-                        policy=policy,
-                        tiling=tiling,
-                        result=point_result,
-                    ))
-    if not result.points:
-        raise DseError(
-            f"no tiling of {layer.name} satisfies the buffer constraint")
-    return result
+    eng = _engine_for(jobs, chunk_size, engine)
+    tilings_seq = None if tilings is None else list(tilings)
+    return eng.explore_layer(
+        layer, architectures=architectures, schemes=schemes,
+        policies=policies, buffers=buffers, organization=organization,
+        tilings=tilings_seq)
 
 
 def explore_network(
     layers: Sequence[ConvLayer],
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    engine=None,
     **kwargs,
 ) -> DseResult:
-    """Algorithm 1 over all layers of a network."""
-    combined = DseResult()
-    for layer in layers:
-        combined.extend(explore_layer(layer, **kwargs))
-    return combined
+    """Algorithm 1 over all layers of a network.
+
+    The whole ``layer x architecture x scheme x policy x tiling`` grid
+    is sharded as one unit, so with ``jobs > 1`` small layers do not
+    serialize behind large ones.
+    """
+    eng = _engine_for(jobs, chunk_size, engine)
+    return eng.explore_network(layers, **kwargs)
 
 
 def best_mapping_per_layer(

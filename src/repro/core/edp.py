@@ -109,6 +109,7 @@ def _data_type_cost(
     policy: MappingPolicy,
     organization: DRAMOrganization,
     characterization: CharacterizationResult,
+    cache=None,
 ) -> AccessCost:
     """Eq. 2/3 cost of all fetches of one data type.
 
@@ -120,7 +121,10 @@ def _data_type_cost(
     tile_accesses = organization.accesses_for_bytes(traffic.tile_bytes)
     if tile_accesses == 0:
         return ZERO_COST
-    counts = count_transitions(policy, organization, tile_accesses)
+    if cache is not None:
+        counts = cache.transition_counts(policy, organization, tile_accesses)
+    else:
+        counts = count_transitions(policy, organization, tile_accesses)
     cost = ZERO_COST
     if traffic.read_tiles:
         read_cost = run_cost(counts, characterization, RequestKind.READ)
@@ -139,21 +143,35 @@ def layer_edp(
     architecture: DRAMArchitecture,
     organization: DRAMOrganization = DDR3_1600_2GB_X8,
     characterization: Optional[CharacterizationResult] = None,
+    cache=None,
 ) -> LayerEDP:
     """EDP of one layer for one (tiling, scheme, mapping, architecture).
 
     ``ADAPTIVE_REUSE`` resolves to the concrete scheme minimizing the
     layer's DRAM traffic before costing.
+
+    ``cache`` optionally supplies an
+    :class:`repro.core.engine.EvaluationCache`; the policy-independent
+    intermediates (traffic, adaptive resolution, transition counts) are
+    then memoized across calls, which the Algorithm-1 grid reuses
+    24-fold per tiling.
     """
-    resolved = resolve_adaptive(layer, tiling, scheme)
+    if cache is not None:
+        resolved = cache.resolve_scheme(layer, tiling, scheme)
+    else:
+        resolved = resolve_adaptive(layer, tiling, scheme)
     if characterization is None:
         characterization = characterize_preset(architecture)
-    traffic: LayerTraffic = layer_traffic(layer, tiling, resolved)
+    if cache is not None:
+        traffic: LayerTraffic = cache.traffic(layer, tiling, resolved)
+    else:
+        traffic = layer_traffic(layer, tiling, resolved)
     by_type: Dict[str, AccessCost] = {}
     total = ZERO_COST
     for name, type_traffic in traffic.by_type().items():
         cost = _data_type_cost(
-            type_traffic, policy, organization, characterization)
+            type_traffic, policy, organization, characterization,
+            cache=cache)
         by_type[name] = cost
         total = total + cost
     return LayerEDP(

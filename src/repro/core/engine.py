@@ -1,0 +1,617 @@
+"""Parallel, sharded design-space exploration engine.
+
+The paper's Algorithm 1 walks an embarrassingly parallel grid —
+``layer x architecture x scheme x policy x tiling`` — and evaluates
+every admissible point with the analytical Eq. 2/3 model.  The seed
+reproduction did this strictly serially and recomputed every
+intermediate per point.  This module is the scalable replacement:
+
+1. **Sharding** — the flattened grid is cut into contiguous chunks of
+   ``chunk_size`` points.  With ``jobs > 1`` the chunks are evaluated
+   on a :class:`concurrent.futures.ProcessPoolExecutor`; each worker
+   receives the full exploration context (layers, admissible tilings,
+   pre-computed characterizations) once via the pool initializer, so
+   per-chunk messages are just ``(start, stop)`` index ranges.
+2. **Characterization caching** — the Fig.-1 per-condition costs are
+   fetched through the process-wide LRU
+   :class:`repro.dram.characterize.CharacterizationCache`, keyed on
+   ``(organization, architecture)``, so ``characterize`` runs once per
+   configuration instead of once per design point.
+3. **Evaluation memoization** — an :class:`EvaluationCache` memoizes
+   the policy-independent intermediates of the EDP model: DRAM traffic
+   per ``(layer, tiling, scheme)``, adaptive-scheme resolution, and the
+   closed-form transition counts per ``(policy, organization, run
+   length)``.  On the Table-II grid each traffic entry is reused 24x
+   (6 policies x 4 architectures) and the transition counts collapse to
+   a few hundred distinct keys.
+4. **Streaming** — an :class:`ExplorationProgress` callback fires after
+   every completed chunk, and :meth:`ExplorationEngine.explore_reduced`
+   folds chunks into per-key minimum-EDP records plus an incremental
+   Pareto front as they arrive, so arbitrarily large sweeps run in
+   memory bounded by the front and the reduction keys, not the point
+   count.
+
+Determinism guarantees
+----------------------
+For any ``jobs`` and ``chunk_size``:
+
+* :meth:`ExplorationEngine.explore_layer` /
+  :meth:`~ExplorationEngine.explore_network` return the points in
+  exactly the serial nested-loop order (architecture outermost, tiling
+  innermost), so the records are byte-identical to a ``jobs=1`` run.
+* minimum-EDP selections break ties by the *lowest flattened grid
+  index*, matching what serial ``min()`` returns, independent of chunk
+  completion order.
+
+The CLI exposes the knobs as ``repro dse --jobs N --chunk-size M``
+(``--jobs 0`` means one worker per CPU).
+
+Example
+-------
+>>> from repro.cnn.models import alexnet
+>>> from repro.core.engine import ExplorationEngine
+>>> engine = ExplorationEngine(jobs=1)
+>>> result = engine.explore_layer(alexnet()[0])
+>>> result.best().edp_js > 0
+True
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..cnn.layer import ConvLayer
+from ..cnn.scheduling import ALL_SCHEMES, ReuseScheme
+from ..cnn.tiling import (
+    BufferConfig,
+    TABLE2_BUFFERS,
+    TilingConfig,
+    enumerate_tilings,
+)
+from ..caching import LRUMemo
+from ..cnn.traffic import LayerTraffic, layer_traffic
+from ..dram.architecture import ALL_ARCHITECTURES, DRAMArchitecture
+from ..dram.characterize import (
+    CharacterizationCache,
+    CharacterizationResult,
+    DEFAULT_CHARACTERIZATION_CACHE,
+)
+from ..dram.presets import DDR3_1600_2GB_X8
+from ..dram.spec import DRAMOrganization
+from ..errors import DseError
+from ..mapping.catalog import TABLE1_MAPPINGS
+from ..mapping.counts import TransitionCounts, count_transitions
+from ..mapping.policy import MappingPolicy
+from .adaptive import resolve_adaptive
+from .dse import DsePoint, DseResult
+from .edp import layer_edp
+from .pareto import ObjectivePoint, ParetoAccumulator
+
+#: Default points per shard.  Large enough that inter-process message
+#: overhead is negligible, small enough that progress ticks regularly
+#: and merge buffers stay shallow.
+DEFAULT_CHUNK_SIZE = 256
+
+
+# ----------------------------------------------------------------------
+# Evaluation memoization
+# ----------------------------------------------------------------------
+
+class EvaluationCache:
+    """Memo for the policy-independent intermediates of the EDP model.
+
+    One instance lives in each engine (serial path) and one in each
+    worker process (parallel path).  Pass it to
+    :func:`repro.core.edp.layer_edp` via its ``cache`` parameter.
+
+    Attributes
+    ----------
+    traffic_memo / counts_memo / adaptive_memo:
+        The underlying bounded memos; their ``hits`` / ``misses``
+        counters are exposed for tests and tuning.
+    """
+
+    def __init__(self, maxsize: int = 65536) -> None:
+        self.traffic_memo = LRUMemo(maxsize)
+        self.counts_memo = LRUMemo(maxsize)
+        self.adaptive_memo = LRUMemo(maxsize)
+
+    def resolve_scheme(
+        self,
+        layer: ConvLayer,
+        tiling: TilingConfig,
+        scheme: ReuseScheme,
+    ) -> ReuseScheme:
+        """Memoized adaptive-scheme resolution."""
+        return self.adaptive_memo.get_or_compute(
+            (layer, tiling, scheme),
+            lambda: resolve_adaptive(layer, tiling, scheme))
+
+    def traffic(
+        self,
+        layer: ConvLayer,
+        tiling: TilingConfig,
+        scheme: ReuseScheme,
+    ) -> LayerTraffic:
+        """Memoized DRAM traffic (reused across policies and
+        architectures)."""
+        return self.traffic_memo.get_or_compute(
+            (layer, tiling, scheme),
+            lambda: layer_traffic(layer, tiling, scheme))
+
+    def transition_counts(
+        self,
+        policy: MappingPolicy,
+        organization: DRAMOrganization,
+        n_accesses: int,
+    ) -> TransitionCounts:
+        """Memoized closed-form Eq. 2/3 transition counts."""
+        return self.counts_memo.get_or_compute(
+            (policy, organization, n_accesses),
+            lambda: count_transitions(policy, organization, n_accesses))
+
+    def clear(self) -> None:
+        """Drop all memo entries."""
+        self.traffic_memo.clear()
+        self.counts_memo.clear()
+        self.adaptive_memo.clear()
+
+
+# ----------------------------------------------------------------------
+# Grid context
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _LayerGrid:
+    """One layer's slice of the flattened exploration grid."""
+
+    layer: ConvLayer
+    tilings: Tuple[TilingConfig, ...]
+    offset: int  # flattened index of this layer's first point
+
+
+@dataclass(frozen=True)
+class ExplorationContext:
+    """Everything a shard needs to evaluate any grid index.
+
+    Shipped once per worker process through the pool initializer;
+    chunks are then addressed as plain ``(start, stop)`` ranges over
+    the flattened grid, with the tiling loop innermost and the
+    architecture loop outermost — the exact order of the serial
+    Algorithm-1 implementation.
+    """
+
+    layers: Tuple[_LayerGrid, ...]
+    architectures: Tuple[DRAMArchitecture, ...]
+    schemes: Tuple[ReuseScheme, ...]
+    policies: Tuple[MappingPolicy, ...]
+    organization: DRAMOrganization
+    characterizations: Dict[DRAMArchitecture, CharacterizationResult]
+    offsets: Tuple[int, ...]  # layers[i].offset, precomputed for decode
+
+    @property
+    def total_points(self) -> int:
+        """Number of points in the flattened grid."""
+        if not self.layers:
+            return 0
+        last = self.layers[-1]
+        return last.offset + self._points_per_layer(last)
+
+    def _points_per_layer(self, grid: _LayerGrid) -> int:
+        return (len(self.architectures) * len(self.schemes)
+                * len(self.policies) * len(grid.tilings))
+
+    def decode(self, index: int) -> Tuple[
+            ConvLayer, DRAMArchitecture, ReuseScheme, MappingPolicy,
+            TilingConfig]:
+        """Map a flattened grid index back to its design point."""
+        layer_pos = bisect.bisect_right(self.offsets, index) - 1
+        grid = self.layers[layer_pos]
+        local = index - grid.offset
+        local, tiling_idx = divmod(local, len(grid.tilings))
+        local, policy_idx = divmod(local, len(self.policies))
+        arch_idx, scheme_idx = divmod(local, len(self.schemes))
+        return (grid.layer, self.architectures[arch_idx],
+                self.schemes[scheme_idx], self.policies[policy_idx],
+                grid.tilings[tiling_idx])
+
+
+def _build_context(
+    layers: Sequence[ConvLayer],
+    architectures: Sequence[DRAMArchitecture],
+    schemes: Sequence[ReuseScheme],
+    policies: Sequence[MappingPolicy],
+    buffers: BufferConfig,
+    organization: DRAMOrganization,
+    tilings: Optional[Sequence[TilingConfig]],
+    characterization_cache: CharacterizationCache,
+) -> ExplorationContext:
+    """Validate the grid and pre-compute everything shards share."""
+    grids: List[_LayerGrid] = []
+    offset = 0
+    per_point = len(architectures) * len(schemes) * len(policies)
+    for layer in layers:
+        if tilings is None:
+            candidates: Sequence[TilingConfig] = enumerate_tilings(
+                layer, buffers)
+        else:
+            candidates = list(tilings)
+            if not candidates:
+                raise DseError(
+                    f"no candidate tilings provided for {layer.name}")
+        admissible = tuple(
+            tiling for tiling in candidates if tiling.fits(layer, buffers))
+        if not admissible or per_point == 0:
+            raise DseError(
+                f"no tiling of {layer.name} satisfies the buffer constraint")
+        grids.append(_LayerGrid(
+            layer=layer, tilings=admissible, offset=offset))
+        offset += per_point * len(admissible)
+    characterizations = {
+        architecture: characterization_cache.get(architecture, organization)
+        for architecture in architectures
+    }
+    return ExplorationContext(
+        layers=tuple(grids),
+        architectures=tuple(architectures),
+        schemes=tuple(schemes),
+        policies=tuple(policies),
+        organization=organization,
+        characterizations=characterizations,
+        offsets=tuple(grid.offset for grid in grids),
+    )
+
+
+# ----------------------------------------------------------------------
+# Shard evaluation (runs inside workers and on the serial path)
+# ----------------------------------------------------------------------
+
+#: Per-process worker state: (context, evaluation cache).
+_WORKER_STATE: Optional[Tuple[ExplorationContext, EvaluationCache]] = None
+
+
+def _init_worker(context: ExplorationContext) -> None:
+    """Pool initializer: install the shared context in this process."""
+    global _WORKER_STATE
+    _WORKER_STATE = (context, EvaluationCache())
+
+
+def _evaluate_range(
+    context: ExplorationContext,
+    cache: EvaluationCache,
+    start: int,
+    stop: int,
+) -> List[DsePoint]:
+    """Evaluate the flattened grid indices ``[start, stop)`` in order."""
+    points: List[DsePoint] = []
+    for index in range(start, stop):
+        layer, architecture, scheme, policy, tiling = context.decode(index)
+        result = layer_edp(
+            layer, tiling, scheme, policy, architecture,
+            organization=context.organization,
+            characterization=context.characterizations[architecture],
+            cache=cache,
+        )
+        points.append(DsePoint(
+            layer_name=layer.name,
+            architecture=architecture,
+            scheme=scheme,
+            policy=policy,
+            tiling=tiling,
+            result=result,
+        ))
+    return points
+
+
+def _run_chunk(chunk: Tuple[int, int]) -> Tuple[int, List[DsePoint]]:
+    """Worker entry point: evaluate one ``(start, stop)`` shard."""
+    assert _WORKER_STATE is not None, "worker initializer did not run"
+    context, cache = _WORKER_STATE
+    start, stop = chunk
+    return start, _evaluate_range(context, cache, start, stop)
+
+
+# ----------------------------------------------------------------------
+# Progress streaming
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExplorationProgress:
+    """Snapshot delivered to the progress callback after each chunk."""
+
+    completed_points: int
+    total_points: int
+    completed_chunks: int
+    total_chunks: int
+    best_edp_js: Optional[float]
+
+    @property
+    def fraction(self) -> float:
+        """Completed fraction in ``[0, 1]``."""
+        if not self.total_points:
+            return 1.0
+        return self.completed_points / self.total_points
+
+
+ProgressCallback = Callable[[ExplorationProgress], None]
+
+
+# ----------------------------------------------------------------------
+# Reduced (bounded-memory) results
+# ----------------------------------------------------------------------
+
+@dataclass
+class ReducedExploration:
+    """Streaming reduction of an exploration: minima + Pareto front.
+
+    Holds one record per ``(layer, architecture, scheme, policy)``
+    instead of one per point, so memory is bounded by the grid's
+    *categorical* dimensions regardless of how many tilings are swept.
+    """
+
+    total_points: int = 0
+    best_by_key: Dict[Tuple[str, DRAMArchitecture, ReuseScheme,
+                            MappingPolicy], DsePoint] = \
+        field(default_factory=dict)
+    _best_index: Dict[Tuple[str, DRAMArchitecture, ReuseScheme,
+                            MappingPolicy], int] = field(default_factory=dict)
+    pareto: ParetoAccumulator = field(default_factory=ParetoAccumulator)
+
+    def absorb(self, start: int, points: Sequence[DsePoint]) -> None:
+        """Fold one shard's points into the reduction.
+
+        Ties on EDP keep the lowest flattened grid index, so the result
+        is independent of shard arrival order.
+        """
+        self.total_points += len(points)
+        for position, point in enumerate(points):
+            index = start + position
+            key = (point.layer_name, point.architecture, point.scheme,
+                   point.policy)
+            incumbent = self.best_by_key.get(key)
+            if incumbent is None or (point.edp_js, index) < (
+                    incumbent.edp_js, self._best_index[key]):
+                self.best_by_key[key] = point
+                self._best_index[key] = index
+            self.pareto.add(ObjectivePoint(
+                energy_nj=point.result.energy_nj,
+                latency_ns=point.result.latency_ns,
+                payload=point,
+            ), order=index)
+
+    def best(
+        self,
+        layer_name: Optional[str] = None,
+        architecture: Optional[DRAMArchitecture] = None,
+        scheme: Optional[ReuseScheme] = None,
+        policy: Optional[MappingPolicy] = None,
+    ) -> DsePoint:
+        """Minimum-EDP record among those matching the filters."""
+        candidates = [
+            (point.edp_js, self._best_index[key], point)
+            for key, point in self.best_by_key.items()
+            if (layer_name is None or key[0] == layer_name)
+            and (architecture is None or key[1] is architecture)
+            and (scheme is None or key[2] is scheme)
+            and (policy is None or key[3] == policy)
+        ]
+        if not candidates:
+            raise DseError("no reduced record matches the given filters")
+        return min(candidates)[2]
+
+    def best_per_layer(
+        self,
+        architecture: DRAMArchitecture,
+        scheme: ReuseScheme,
+    ) -> Dict[str, DsePoint]:
+        """Algorithm-1 output: min-EDP point per layer."""
+        by_layer: Dict[str, Tuple[float, int, DsePoint]] = {}
+        for key, point in self.best_by_key.items():
+            name, arch, sch, _policy = key
+            if arch is not architecture or sch is not scheme:
+                continue
+            candidate = (point.edp_js, self._best_index[key], point)
+            incumbent = by_layer.get(name)
+            if incumbent is None or candidate[:2] < incumbent[:2]:
+                by_layer[name] = candidate
+        return {name: entry[2] for name, entry in by_layer.items()}
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+class ExplorationEngine:
+    """Sharded, cached executor for the Algorithm-1 design space.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (default) evaluates in-process;
+        ``0`` or ``None`` means one worker per CPU.  Results are
+        identical for every value — see the module docstring's
+        determinism guarantees.
+    chunk_size:
+        Grid points per shard.
+    characterization_cache:
+        LRU cache for Fig.-1 characterizations; defaults to the
+        process-wide shared cache.
+    progress:
+        Optional :data:`ProgressCallback` invoked after every chunk.
+
+    Example
+    -------
+    >>> from repro.cnn.models import alexnet
+    >>> engine = ExplorationEngine(jobs=2, chunk_size=128)
+    >>> reduced = engine.explore_reduced(alexnet()[:1])
+    >>> reduced.total_points > 0
+    True
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = 1,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        characterization_cache: Optional[CharacterizationCache] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        if jobs is None or jobs == 0:
+            jobs = os.cpu_count() or 1
+        if jobs < 0:
+            raise ValueError(f"jobs must be non-negative, got {jobs}")
+        if chunk_size <= 0:
+            raise ValueError(
+                f"chunk_size must be positive, got {chunk_size}")
+        self.jobs = jobs
+        self.chunk_size = chunk_size
+        self.characterization_cache = (
+            characterization_cache
+            if characterization_cache is not None
+            else DEFAULT_CHARACTERIZATION_CACHE)
+        self.progress = progress
+        #: Serial-path evaluation memo; persists across explore calls
+        #: so network-level sweeps reuse layer-level intermediates.
+        self.evaluation_cache = EvaluationCache()
+
+    # -- public API ----------------------------------------------------
+
+    def explore_layer(
+        self,
+        layer: ConvLayer,
+        architectures: Sequence[DRAMArchitecture] = ALL_ARCHITECTURES,
+        schemes: Sequence[ReuseScheme] = ALL_SCHEMES,
+        policies: Sequence[MappingPolicy] = TABLE1_MAPPINGS,
+        buffers: BufferConfig = TABLE2_BUFFERS,
+        organization: DRAMOrganization = DDR3_1600_2GB_X8,
+        tilings: Optional[Sequence[TilingConfig]] = None,
+    ) -> DseResult:
+        """Algorithm 1 for one layer; full exploration record."""
+        return self.explore_network(
+            [layer], architectures=architectures, schemes=schemes,
+            policies=policies, buffers=buffers, organization=organization,
+            tilings=tilings)
+
+    def explore_network(
+        self,
+        layers: Sequence[ConvLayer],
+        architectures: Sequence[DRAMArchitecture] = ALL_ARCHITECTURES,
+        schemes: Sequence[ReuseScheme] = ALL_SCHEMES,
+        policies: Sequence[MappingPolicy] = TABLE1_MAPPINGS,
+        buffers: BufferConfig = TABLE2_BUFFERS,
+        organization: DRAMOrganization = DDR3_1600_2GB_X8,
+        tilings: Optional[Sequence[TilingConfig]] = None,
+    ) -> DseResult:
+        """Algorithm 1 over all layers; full exploration record.
+
+        The returned points are in the serial nested-loop order
+        regardless of ``jobs``.
+        """
+        context = _build_context(
+            layers, architectures, schemes, policies, buffers,
+            organization, tilings, self.characterization_cache)
+        shards: Dict[int, List[DsePoint]] = {}
+        for start, points in self._shard_results(context):
+            shards[start] = points
+        result = DseResult()
+        for start in sorted(shards):
+            result.points.extend(shards[start])
+        return result
+
+    def explore_reduced(
+        self,
+        layers: Sequence[ConvLayer],
+        architectures: Sequence[DRAMArchitecture] = ALL_ARCHITECTURES,
+        schemes: Sequence[ReuseScheme] = ALL_SCHEMES,
+        policies: Sequence[MappingPolicy] = TABLE1_MAPPINGS,
+        buffers: BufferConfig = TABLE2_BUFFERS,
+        organization: DRAMOrganization = DDR3_1600_2GB_X8,
+        tilings: Optional[Sequence[TilingConfig]] = None,
+    ) -> ReducedExploration:
+        """Bounded-memory exploration: stream shards into minima.
+
+        Use this instead of :meth:`explore_network` when the grid is
+        too large to keep every :class:`DsePoint`; only the per-key
+        minima and the Pareto front are retained.
+        """
+        context = _build_context(
+            layers, architectures, schemes, policies, buffers,
+            organization, tilings, self.characterization_cache)
+        reduced = ReducedExploration()
+        for start, points in self._shard_results(context):
+            reduced.absorb(start, points)
+        return reduced
+
+    # -- scheduling ----------------------------------------------------
+
+    def _chunks(self, total: int) -> Iterator[Tuple[int, int]]:
+        for start in range(0, total, self.chunk_size):
+            yield start, min(start + self.chunk_size, total)
+
+    def _shard_results(
+        self,
+        context: ExplorationContext,
+    ) -> Iterator[Tuple[int, List[DsePoint]]]:
+        """Yield ``(start, points)`` per shard, ticking progress."""
+        total = context.total_points
+        total_chunks = -(-total // self.chunk_size) if total else 0
+        completed_points = 0
+        completed_chunks = 0
+        best_edp: Optional[float] = None
+
+        def tick(points: List[DsePoint]) -> None:
+            nonlocal completed_points, completed_chunks, best_edp
+            completed_points += len(points)
+            completed_chunks += 1
+            for point in points:
+                if best_edp is None or point.edp_js < best_edp:
+                    best_edp = point.edp_js
+            if self.progress is not None:
+                self.progress(ExplorationProgress(
+                    completed_points=completed_points,
+                    total_points=total,
+                    completed_chunks=completed_chunks,
+                    total_chunks=total_chunks,
+                    best_edp_js=best_edp,
+                ))
+
+        if self.jobs == 1:
+            for start, stop in self._chunks(total):
+                points = _evaluate_range(
+                    context, self.evaluation_cache, start, stop)
+                tick(points)
+                yield start, points
+            return
+
+        # Bounded in-flight window: at most jobs * 4 chunks are queued
+        # at once, so million-point grids never materialize all chunk
+        # futures (or their results) simultaneously.
+        with ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_init_worker,
+                initargs=(context,)) as pool:
+            pending = set()
+            chunks = self._chunks(total)
+            window = self.jobs * 4
+            for chunk in itertools.islice(chunks, window):
+                pending.add(pool.submit(_run_chunk, chunk))
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    start, points = future.result()
+                    tick(points)
+                    yield start, points
+                for chunk in itertools.islice(chunks, len(done)):
+                    pending.add(pool.submit(_run_chunk, chunk))

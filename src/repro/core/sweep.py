@@ -6,6 +6,21 @@ data precision, DRAM speed grade — and report how the minimum EDP and
 DRMap's advantage respond.  They power the ablation benchmarks and
 give downstream users a one-call sensitivity analysis for their own
 design points.
+
+All sweeps route their DRAM characterizations through the process-wide
+:data:`repro.dram.characterize.DEFAULT_CHARACTERIZATION_CACHE` (keyed
+on ``(organization, architecture)``) and share one
+:class:`repro.core.engine.EvaluationCache`, so comparing two policies
+at one sweep value characterizes the device once — the seed version
+re-ran the simulator micro-experiments for every policy at every
+value.  Repeating a sweep is almost free.
+
+Example
+-------
+>>> from repro.cnn.models import alexnet
+>>> points = sweep_subarrays(alexnet()[1], subarray_counts=(1, 8))
+>>> [p.value for p in points]
+[1, 8]
 """
 
 from __future__ import annotations
@@ -17,9 +32,8 @@ from ..cnn.layer import ConvLayer
 from ..cnn.scheduling import ReuseScheme
 from ..cnn.tiling import BufferConfig, TABLE2_BUFFERS, enumerate_tilings
 from ..dram.architecture import DRAMArchitecture
-from ..dram.characterize import characterize
+from ..dram.characterize import characterize_cached
 from ..dram.presets import DDR3_1600_2GB_X8
-from ..dram.simulator import DRAMSimulator
 from ..dram.spec import DRAMOrganization
 from ..mapping.catalog import DRMAP, MAPPING_2
 from ..mapping.policy import MappingPolicy
@@ -43,6 +57,19 @@ class SweepPoint:
         return self.worst_edp_js / self.drmap_edp_js
 
 
+def _evaluation_cache():
+    """The sweeps' shared evaluation memo (lazy, import-cycle free)."""
+    global _EVALUATION_CACHE
+    if _EVALUATION_CACHE is None:
+        from .engine import EvaluationCache
+
+        _EVALUATION_CACHE = EvaluationCache()
+    return _EVALUATION_CACHE
+
+
+_EVALUATION_CACHE = None
+
+
 def _min_edp(
     layer: ConvLayer,
     policy: MappingPolicy,
@@ -51,14 +78,15 @@ def _min_edp(
     buffers: BufferConfig,
     scheme: ReuseScheme,
 ) -> float:
-    simulator = DRAMSimulator(organization, architecture=architecture)
-    characterization = characterize(architecture, simulator=simulator)
+    characterization = characterize_cached(architecture, organization)
+    cache = _evaluation_cache()
     best: Optional[float] = None
     for tiling in enumerate_tilings(layer, buffers):
         result = layer_edp(
             layer, tiling, scheme, policy, architecture,
             organization=organization,
-            characterization=characterization)
+            characterization=characterization,
+            cache=cache)
         if best is None or result.edp_js < best:
             best = result.edp_js
     if best is None:

@@ -17,10 +17,14 @@ from .architecture import (
 from .characterize import (
     ALL_CONDITIONS,
     AccessCondition,
+    CacheStats,
+    CharacterizationCache,
     CharacterizationResult,
     ConditionCost,
+    DEFAULT_CHARACTERIZATION_CACHE,
     characterize,
     characterize_all,
+    characterize_cached,
     characterize_preset,
 )
 from .commands import (
@@ -57,6 +61,8 @@ __all__ = [
     "ALL_CONDITIONS",
     "AccessCondition",
     "ArchitectureBehavior",
+    "CacheStats",
+    "CharacterizationCache",
     "CharacterizationResult",
     "Command",
     "CommandKind",
@@ -68,6 +74,7 @@ __all__ = [
     "DDR3_1600_2GB_X8",
     "DDR3_1600_2GB_X8_CURRENTS",
     "DDR3_1600_TIMINGS",
+    "DEFAULT_CHARACTERIZATION_CACHE",
     "DRAMArchitecture",
     "DRAMOrganization",
     "DRAMSimulator",
@@ -87,6 +94,7 @@ __all__ = [
     "behavior_of",
     "characterize",
     "characterize_all",
+    "characterize_cached",
     "characterize_preset",
     "organization_for",
     "read_command_trace",

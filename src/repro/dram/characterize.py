@@ -29,8 +29,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Callable, Dict, List, Mapping
+from typing import Callable, Dict, List, Mapping, Optional
+
+from ..caching import CacheStats, LRUMemo
 
 from .address import Coordinate
 from .architecture import ALL_ARCHITECTURES, DRAMArchitecture
@@ -236,11 +237,105 @@ def characterize(
     )
 
 
-@lru_cache(maxsize=None)
+class CharacterizationCache:
+    """LRU cache of :func:`characterize` results.
+
+    Characterizing one architecture runs eight micro-experiment streams
+    plus two isolated requests on the cycle-level simulator — tens of
+    milliseconds each, which dominates small sweeps when repeated per
+    design point.  This cache keys results on the pair
+    ``(organization, architecture)`` (both read and write costs are
+    measured in one pass, so the request kind needs no key component)
+    and evicts least-recently-used entries beyond ``maxsize``.
+
+    The cache is safe to share across threads of one process for
+    *reading* mixed workloads (CPython dict operations are atomic
+    enough for this access pattern); worker processes of the parallel
+    DSE engine receive pre-characterized results instead and never
+    touch it.
+
+    Example
+    -------
+    >>> from repro.dram.architecture import DRAMArchitecture
+    >>> cache = CharacterizationCache()
+    >>> first = cache.get(DRAMArchitecture.DDR3)
+    >>> second = cache.get(DRAMArchitecture.DDR3)
+    >>> first is second
+    True
+    >>> cache.stats.hits, cache.stats.misses
+    (1, 1)
+    """
+
+    def __init__(self, maxsize: int = 64) -> None:
+        self._memo = LRUMemo(maxsize)
+
+    @property
+    def maxsize(self) -> int:
+        """Maximum number of cached configurations."""
+        return self._memo.maxsize
+
+    @property
+    def stats(self) -> CacheStats:
+        """Current hit/miss counters."""
+        return self._memo.stats
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._memo.clear()
+
+    def get(
+        self,
+        architecture: DRAMArchitecture,
+        organization: Optional[DRAMOrganization] = None,
+    ) -> CharacterizationResult:
+        """Characterization of ``architecture`` on ``organization``.
+
+        ``organization=None`` selects the Table-II preset geometry.
+        Results are computed on first use and served from the cache —
+        as the *same object* — afterwards.
+        """
+        if organization is None:
+            from .presets import organization_for
+
+            organization = organization_for(architecture)
+
+        def compute() -> CharacterizationResult:
+            simulator = DRAMSimulator(
+                organization, architecture=architecture)
+            return characterize(architecture, simulator=simulator)
+
+        return self._memo.get_or_compute(
+            (organization, architecture), compute)
+
+
+#: Process-wide default cache; :func:`characterize_preset`,
+#: :func:`characterize_cached`, the sweeps and the DSE engine all share
+#: it, so any two call sites asking for the same configuration pay for
+#: characterization once.
+DEFAULT_CHARACTERIZATION_CACHE = CharacterizationCache()
+
+
+def characterize_cached(
+    architecture: DRAMArchitecture,
+    organization: Optional[DRAMOrganization] = None,
+) -> CharacterizationResult:
+    """Characterize through the process-wide LRU cache.
+
+    Like :func:`characterize` but keyed on
+    ``(organization, architecture)`` so repeated requests — e.g. one
+    per design point of a sweep — hit the simulator only once per
+    configuration.
+    """
+    return DEFAULT_CHARACTERIZATION_CACHE.get(architecture, organization)
+
+
 def characterize_preset(architecture: DRAMArchitecture
                         ) -> CharacterizationResult:
     """Cached characterization of the Table-II preset configuration."""
-    return characterize(architecture)
+    return DEFAULT_CHARACTERIZATION_CACHE.get(architecture)
 
 
 def characterize_all() -> Dict[DRAMArchitecture, CharacterizationResult]:

@@ -22,7 +22,7 @@ from typing import List, Optional, Sequence
 from ..dram.architecture import DRAMArchitecture
 from ..dram.characterize import (
     CharacterizationResult,
-    characterize_preset,
+    characterize_cached,
 )
 from ..dram.commands import RequestKind
 from ..dram.presets import DDR3_1600_2GB_X8
@@ -74,7 +74,7 @@ def score_policy(
     from ..core.conditions import run_cost
 
     if characterization is None:
-        characterization = characterize_preset(architecture)
+        characterization = characterize_cached(architecture, organization)
     counts = count_transitions(policy, organization, n_accesses)
     cost = run_cost(counts, characterization, kind)
     return ScoredPolicy(
@@ -90,7 +90,7 @@ def rank_policies(
     """All policies sorted by ascending EDP score."""
     if policies is None:
         policies = all_permutation_policies()
-    characterization = characterize_preset(architecture)
+    characterization = characterize_cached(architecture, organization)
     scored = [
         score_policy(policy, n_accesses, architecture,
                      organization=organization,

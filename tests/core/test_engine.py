@@ -1,0 +1,265 @@
+"""Tests for the parallel sharded exploration engine.
+
+The load-bearing guarantee: for any ``jobs`` / ``chunk_size``, the
+engine returns byte-identical exploration records and minimum-EDP
+selections to the serial Algorithm-1 path.
+"""
+
+import pytest
+
+from repro.cnn.models import alexnet, tiny_test_network
+from repro.cnn.scheduling import ReuseScheme
+from repro.core.dse import explore_layer, explore_network
+from repro.core.engine import (
+    EvaluationCache,
+    ExplorationEngine,
+    ExplorationProgress,
+)
+from repro.core.pareto import (
+    ObjectivePoint,
+    ParetoAccumulator,
+    pareto_front,
+    points_from_dse,
+)
+from repro.dram.architecture import DRAMArchitecture
+from repro.dram.characterize import CharacterizationCache
+from repro.errors import DseError
+from repro.mapping.catalog import DRMAP, TABLE1_MAPPINGS
+
+
+@pytest.fixture(scope="module")
+def conv_layers():
+    """The AlexNet convolutional layers (CONV1..CONV5)."""
+    return [layer for layer in alexnet() if layer.name.startswith("CONV")]
+
+
+@pytest.fixture(scope="module")
+def tiny_layer():
+    return tiny_test_network()[0]
+
+
+@pytest.fixture(scope="module")
+def serial_conv_dse(conv_layers):
+    return explore_network(conv_layers, jobs=1)
+
+
+class TestDeterminism:
+    """jobs=2 must reproduce the serial records exactly."""
+
+    def test_parallel_records_identical(self, conv_layers, serial_conv_dse):
+        # An odd chunk size that does not divide the grid, so shards
+        # straddle layer and architecture boundaries.
+        parallel = explore_network(conv_layers, jobs=2, chunk_size=157)
+        assert parallel.points == serial_conv_dse.points
+
+    def test_parallel_min_edp_selections_identical(
+            self, conv_layers, serial_conv_dse):
+        parallel = explore_network(conv_layers, jobs=2, chunk_size=157)
+        for layer in conv_layers:
+            serial_best = serial_conv_dse.best(layer_name=layer.name)
+            parallel_best = parallel.best(layer_name=layer.name)
+            assert serial_best == parallel_best
+        for architecture in (DRAMArchitecture.DDR3,
+                             DRAMArchitecture.SALP_MASA):
+            assert (parallel.best(architecture=architecture)
+                    == serial_conv_dse.best(architecture=architecture))
+
+    def test_chunk_size_invariance(self, tiny_layer):
+        baseline = explore_layer(tiny_layer, jobs=1, chunk_size=1_000_000)
+        one_point_chunks = explore_layer(tiny_layer, jobs=1, chunk_size=1)
+        assert baseline.points == one_point_chunks.points
+
+    def test_reduced_matches_full(self, tiny_layer):
+        engine = ExplorationEngine(jobs=1, chunk_size=37)
+        reduced = engine.explore_reduced([tiny_layer])
+        full = explore_layer(tiny_layer)
+        assert reduced.total_points == len(full.points)
+        assert reduced.best() == full.best()
+        for policy in TABLE1_MAPPINGS:
+            assert reduced.best(policy=policy) == full.best(policy=policy)
+
+    def test_reduced_pareto_matches_batch(self, tiny_layer):
+        engine = ExplorationEngine(jobs=1, chunk_size=13)
+        reduced = engine.explore_reduced([tiny_layer])
+        full = explore_layer(tiny_layer)
+        batch = pareto_front(points_from_dse(full.points))
+        streamed = reduced.pareto.front()
+        assert [(p.energy_nj, p.latency_ns) for p in streamed] \
+            == [(p.energy_nj, p.latency_ns) for p in batch]
+
+    def test_reduced_tie_breaks_by_grid_index(self):
+        """Equal-EDP points: the lowest flattened index must win,
+        regardless of shard arrival order."""
+        from repro.core.dse import DsePoint
+        from repro.core.edp import LayerEDP
+        from repro.core.engine import ReducedExploration
+        from repro.cnn.tiling import TilingConfig
+        from repro.mapping.catalog import MAPPING_1, MAPPING_2
+
+        def point(policy):
+            return DsePoint(
+                layer_name="L", architecture=DRAMArchitecture.DDR3,
+                scheme=ReuseScheme.IFMS_REUSE, policy=policy,
+                tiling=TilingConfig(1, 1, 1, 1),
+                result=LayerEDP(
+                    layer_name="L", energy_nj=1.0, cycles=1.0,
+                    tck_ns=1.0, by_type={},
+                    resolved_scheme=ReuseScheme.IFMS_REUSE))
+
+        first, second = point(MAPPING_1), point(MAPPING_2)
+        assert first.edp_js == second.edp_js
+        in_order = ReducedExploration()
+        in_order.absorb(0, [first])
+        in_order.absorb(1, [second])
+        reversed_arrival = ReducedExploration()
+        reversed_arrival.absorb(1, [second])
+        reversed_arrival.absorb(0, [first])
+        for reduced in (in_order, reversed_arrival):
+            assert reduced.best().policy == MAPPING_1
+            assert reduced.best_per_layer(
+                DRAMArchitecture.DDR3,
+                ReuseScheme.IFMS_REUSE)["L"].policy == MAPPING_1
+
+    def test_reduced_best_per_layer(self, tiny_layer):
+        engine = ExplorationEngine(jobs=1)
+        reduced = engine.explore_reduced([tiny_layer])
+        full = explore_layer(tiny_layer)
+        by_layer = reduced.best_per_layer(
+            DRAMArchitecture.DDR3, ReuseScheme.ADAPTIVE_REUSE)
+        assert by_layer[tiny_layer.name] == full.best(
+            architecture=DRAMArchitecture.DDR3,
+            scheme=ReuseScheme.ADAPTIVE_REUSE,
+            layer_name=tiny_layer.name)
+
+
+class TestCaching:
+    def test_characterization_runs_once_per_configuration(self, tiny_layer):
+        cache = CharacterizationCache()
+        engine = ExplorationEngine(jobs=1, characterization_cache=cache)
+        engine.explore_layer(tiny_layer)
+        first = cache.stats
+        assert first.misses == 4      # one per architecture
+        engine.explore_layer(tiny_layer)
+        second = cache.stats
+        assert second.misses == 4     # nothing re-characterized
+        assert second.hits == first.hits + 4
+
+    def test_characterization_cache_identity_and_lru(self):
+        cache = CharacterizationCache(maxsize=1)
+        ddr3_first = cache.get(DRAMArchitecture.DDR3)
+        assert cache.get(DRAMArchitecture.DDR3) is ddr3_first
+        cache.get(DRAMArchitecture.SALP_1)     # evicts DDR3
+        assert len(cache) == 1
+        assert cache.get(DRAMArchitecture.DDR3) is not None
+        assert cache.stats.misses == 3
+
+    def test_evaluation_cache_reused_across_points(self, tiny_layer):
+        engine = ExplorationEngine(jobs=1)
+        engine.explore_layer(tiny_layer)
+        counts = engine.evaluation_cache.counts_memo
+        traffic = engine.evaluation_cache.traffic_memo
+        # 24 (arch x scheme x policy)-fold reuse of per-tiling work
+        # means hits dominate misses on both memos.
+        assert counts.hits > counts.misses
+        assert traffic.hits > traffic.misses
+
+    def test_evaluation_cache_clear(self, tiny_layer):
+        cache = EvaluationCache()
+        engine = ExplorationEngine(jobs=1)
+        engine.evaluation_cache = cache
+        engine.explore_layer(tiny_layer)
+        cache.clear()
+        assert cache.counts_memo.hits == 0
+        assert not cache.counts_memo.entries
+
+    def test_repeated_sweep_hits_shared_cache(self, tiny_layer):
+        from repro.core.sweep import sweep_subarrays
+        from repro.dram.characterize import DEFAULT_CHARACTERIZATION_CACHE
+
+        sweep_subarrays(tiny_layer, subarray_counts=(2, 4))
+        before = DEFAULT_CHARACTERIZATION_CACHE.stats
+        sweep_subarrays(tiny_layer, subarray_counts=(2, 4))
+        after = DEFAULT_CHARACTERIZATION_CACHE.stats
+        assert after.misses == before.misses
+        assert after.hits > before.hits
+
+
+class TestProgress:
+    def test_progress_streams_monotonically(self, tiny_layer):
+        snapshots = []
+        engine = ExplorationEngine(
+            jobs=1, chunk_size=50, progress=snapshots.append)
+        result = engine.explore_layer(tiny_layer)
+        assert snapshots
+        assert all(isinstance(s, ExplorationProgress) for s in snapshots)
+        completed = [s.completed_points for s in snapshots]
+        assert completed == sorted(completed)
+        final = snapshots[-1]
+        assert final.completed_points == final.total_points \
+            == len(result.points)
+        assert final.completed_chunks == final.total_chunks
+        assert final.fraction == 1.0
+        assert final.best_edp_js == result.best().edp_js
+
+    def test_progress_fires_in_parallel_mode(self, tiny_layer):
+        snapshots = []
+        engine = ExplorationEngine(
+            jobs=2, chunk_size=64, progress=snapshots.append)
+        result = engine.explore_layer(tiny_layer)
+        assert snapshots[-1].completed_points == len(result.points)
+
+
+class TestValidation:
+    def test_empty_tilings_raise(self, tiny_layer):
+        with pytest.raises(DseError):
+            explore_layer(tiny_layer, tilings=[])
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            ExplorationEngine(jobs=-1)
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            ExplorationEngine(chunk_size=0)
+
+    def test_jobs_zero_means_all_cpus(self):
+        assert ExplorationEngine(jobs=0).jobs >= 1
+
+    def test_explicit_tilings_still_filtered(self, tiny_layer):
+        from repro.cnn.tiling import enumerate_tilings
+
+        tilings = enumerate_tilings(tiny_layer)
+        via_engine = explore_layer(tiny_layer, tilings=tilings, jobs=1)
+        default = explore_layer(tiny_layer)
+        assert via_engine.points == default.points
+
+
+class TestParetoAccumulator:
+    def test_matches_batch_front(self):
+        points = [
+            ObjectivePoint(energy_nj=float(e), latency_ns=float(l))
+            for e, l in [(5, 1), (1, 5), (3, 3), (2, 4), (4, 4),
+                         (2, 4), (6, 6), (1, 5)]
+        ]
+        acc = ParetoAccumulator()
+        for order, point in enumerate(points):
+            acc.add(point, order=order)
+        assert [(p.energy_nj, p.latency_ns) for p in acc.front()] \
+            == [(p.energy_nj, p.latency_ns)
+                for p in pareto_front(points)]
+
+    def test_duplicate_vector_keeps_lowest_order(self):
+        acc = ParetoAccumulator()
+        first = ObjectivePoint(1.0, 1.0, payload="late")
+        second = ObjectivePoint(1.0, 1.0, payload="early")
+        acc.add(first, order=10)
+        assert not acc.add(ObjectivePoint(1.0, 1.0, payload="later"),
+                           order=20)
+        assert acc.add(second, order=5)
+        assert acc.front()[0].payload == "early"
+
+    def test_dominated_point_rejected(self):
+        acc = ParetoAccumulator()
+        assert acc.add(ObjectivePoint(1.0, 1.0))
+        assert not acc.add(ObjectivePoint(2.0, 2.0))
+        assert len(acc) == 1
