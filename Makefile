@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench lint
+.PHONY: test bench bench-devices lint
 
 ## tier-1 verification: the full unit/property/integration/benchmark suite
 test:
@@ -10,6 +10,10 @@ test:
 ## paper-artifact benchmarks only, with pytest-benchmark timings
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q
+
+## cross-device characterization micro-benchmark (device registry)
+bench-devices:
+	$(PYTHON) -m pytest benchmarks/test_perf_devices.py -q
 
 ## byte-compile everything and make sure the test suite collects cleanly
 lint:

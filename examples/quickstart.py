@@ -15,13 +15,14 @@ Covers the three core objects in under a minute:
 from repro import quick_layer_edp
 from repro.cnn import alexnet
 from repro.core.report import format_table, improvement_percent
-from repro.dram import DRAMArchitecture, characterize_preset
+from repro.dram import DRAMArchitecture, characterize_cached
 from repro.mapping import DRMAP, MAPPING_2
 
 
 def main() -> None:
-    # 1. What does a DRAM access cost?  (paper Fig. 1)
-    ddr3 = characterize_preset(DRAMArchitecture.DDR3)
+    # 1. What does a DRAM access cost?  (paper Fig. 1, on the default
+    # device — the paper's ddr3-1600-2gb-x8 profile)
+    ddr3 = characterize_cached(DRAMArchitecture.DDR3)
     print(format_table(
         ["condition", "cycles", "read energy [nJ]"],
         [[name, f"{cycles:.1f}", f"{read_nj:.2f}"]

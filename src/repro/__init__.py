@@ -42,6 +42,15 @@ from .cnn.scheduling import ReuseScheme
 from .cnn.tiling import TilingConfig
 from .core.edp import LayerEDP
 from .dram.architecture import DRAMArchitecture
+from .dram.device import (
+    DEVICE_REGISTRY,
+    DeviceProfile,
+    DeviceRegistry,
+    default_device,
+    device_names,
+    get_device,
+    register_device,
+)
 from .errors import (
     CapacityError,
     ConfigurationError,
@@ -61,20 +70,24 @@ def quick_layer_edp(
     architecture: DRAMArchitecture = DRAMArchitecture.DDR3,
     scheme: ReuseScheme = ReuseScheme.ADAPTIVE_REUSE,
     tiling: TilingConfig = None,
+    device: DeviceProfile = None,
 ) -> LayerEDP:
     """One-call EDP estimate for a layer with sensible defaults.
 
     Uses the Table-II buffers and, unless a tiling is given, the
-    buffer-maximal tiling with the lowest EDP.
+    buffer-maximal tiling with the lowest EDP.  ``device`` selects a
+    DRAM device profile (default: the paper's Table-II device).
     """
     from .cnn.tiling import enumerate_tilings
     from .core.edp import layer_edp
 
     if tiling is not None:
-        return layer_edp(layer, tiling, scheme, policy, architecture)
+        return layer_edp(layer, tiling, scheme, policy, architecture,
+                         device=device)
     best = None
     for candidate in enumerate_tilings(layer):
-        result = layer_edp(layer, candidate, scheme, policy, architecture)
+        result = layer_edp(layer, candidate, scheme, policy, architecture,
+                           device=device)
         if best is None or result.edp_js < best.edp_js:
             best = result
     return best
@@ -84,7 +97,10 @@ __all__ = [
     "CapacityError",
     "ConfigurationError",
     "ConvLayer",
+    "DEVICE_REGISTRY",
     "DRAMArchitecture",
+    "DeviceProfile",
+    "DeviceRegistry",
     "DseError",
     "LayerEDP",
     "MappingError",
@@ -93,6 +109,10 @@ __all__ = [
     "ReuseScheme",
     "SchedulingError",
     "TilingConfig",
+    "default_device",
+    "device_names",
+    "get_device",
     "quick_layer_edp",
+    "register_device",
     "__version__",
 ]

@@ -59,17 +59,26 @@ class LRUMemo:
 
     def get_or_compute(self, key, compute: Callable):
         """The cached value for ``key``, computing it on first use."""
+        return self.get_or_compute_flagged(key, compute)[0]
+
+    def get_or_compute_flagged(self, key, compute: Callable):
+        """Like :meth:`get_or_compute`, returning ``(value, hit)``.
+
+        The flag mirrors exactly what the hit/miss counters recorded
+        for this lookup, so callers layering their own accounting on
+        top (e.g. per-device stats) cannot diverge from ``stats``.
+        """
         cached = self.entries.get(key)
         if cached is not None:
             self.hits += 1
             self.entries.move_to_end(key)
-            return cached
+            return cached, True
         self.misses += 1
         value = compute()
         self.entries[key] = value
         if len(self.entries) > self.maxsize:
             self.entries.popitem(last=False)
-        return value
+        return value, False
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""

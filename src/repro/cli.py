@@ -2,16 +2,25 @@
 
 Usage::
 
-    python -m repro characterize [--arch DDR3]
+    python -m repro characterize [--arch DDR3] [--device NAME|all]
     python -m repro edp --model alexnet --layer CONV2 [--mapping 3]
+                        [--device NAME]
     python -m repro dse --model alexnet [--arch SALP-MASA] [--layer FC6]
-                        [--jobs N] [--chunk-size M]
-    python -m repro traffic --model alexnet
+                        [--jobs N] [--chunk-size M] [--device NAME]
+    python -m repro traffic --model alexnet [--device NAME]
     python -m repro models
+    python -m repro devices
 
 Each subcommand prints the same plain-text tables the benchmark
 harness produces, so the paper's experiments are reachable without
 writing any Python.
+
+``--device`` selects a registered DRAM device profile (see
+``repro devices``); the default is the paper's ``ddr3-1600-2gb-x8``.
+``--arch`` is validated against the device's capability set; unknown
+``--arch``/``--device`` values exit with status 2 and the list of
+valid names.  ``characterize --device all`` prints the per-condition
+cost tables for every registered device.
 
 ``dse`` runs on the sharded :mod:`repro.core.engine`:
 
@@ -36,8 +45,15 @@ from .cnn.tiling import enumerate_tilings
 from .cnn.traffic import layer_traffic
 from .core.dse import explore_layer
 from .core.report import format_table
-from .dram.architecture import ALL_ARCHITECTURES, DRAMArchitecture
-from .dram.characterize import characterize_preset
+from .dram.architecture import DRAMArchitecture
+from .dram.characterize import characterize_device
+from .dram.device import (
+    DEVICE_REGISTRY,
+    DeviceProfile,
+    default_device,
+    get_device,
+)
+from .errors import ConfigurationError
 from .mapping.catalog import TABLE1_MAPPINGS, mapping_by_index
 from .units import format_bytes
 
@@ -47,8 +63,16 @@ def _architecture(name: str) -> DRAMArchitecture:
         return DRAMArchitecture(name)
     except ValueError:
         choices = ", ".join(a.value for a in DRAMArchitecture)
-        raise SystemExit(
-            f"unknown architecture {name!r}; choose from: {choices}")
+        raise ConfigurationError(
+            f"unknown architecture {name!r}; choose from: {choices}"
+        ) from None
+
+
+def _device(name: Optional[str]) -> DeviceProfile:
+    """Resolve ``--device`` (default: the paper's device)."""
+    if name is None:
+        return default_device()
+    return get_device(name)
 
 
 def _layers(model: str, layer: Optional[str]):
@@ -65,16 +89,38 @@ def _layers(model: str, layer: Optional[str]):
 
 def cmd_characterize(args: argparse.Namespace) -> int:
     """Print the Fig.-1 per-condition costs."""
-    architectures = ([_architecture(args.arch)] if args.arch
-                     else list(ALL_ARCHITECTURES))
+    requested = _architecture(args.arch) if args.arch else None
+    if args.device == "all":
+        devices = list(DEVICE_REGISTRY)
+        if requested is not None:
+            # Characterize the devices that support the architecture
+            # rather than aborting the whole sweep on the first
+            # commodity-only profile.
+            devices = [d for d in devices if d.supports(requested)]
+            if not devices:
+                raise ConfigurationError(
+                    f"no registered device supports architecture "
+                    f"{requested.value!r}")
+    else:
+        devices = [_device(args.device)]
+        if requested is not None:
+            devices[0].require_architecture(requested)
     rows = []
-    for architecture in architectures:
-        result = characterize_preset(architecture)
-        for name, cycles, read_nj, write_nj in result.rows():
-            rows.append([architecture.value, name, f"{cycles:.1f}",
-                         f"{read_nj:.2f}", f"{write_nj:.2f}"])
+    for device in devices:
+        if requested is not None:
+            architectures = (requested,)
+        else:
+            architectures = device.supported_architectures
+        results = characterize_device(device, architectures)
+        for architecture in architectures:
+            result = results[architecture]
+            for name, cycles, read_nj, write_nj in result.rows():
+                rows.append([device.name, architecture.value, name,
+                             f"{cycles:.1f}", f"{read_nj:.2f}",
+                             f"{write_nj:.2f}"])
     print(format_table(
-        ["architecture", "condition", "cycles", "read nJ", "write nJ"],
+        ["device", "architecture", "condition", "cycles", "read nJ",
+         "write nJ"],
         rows, title="Per-access DRAM costs (paper Fig. 1)"))
     return 0
 
@@ -82,13 +128,15 @@ def cmd_characterize(args: argparse.Namespace) -> int:
 def cmd_edp(args: argparse.Namespace) -> int:
     """Per-mapping EDP for one layer (best tiling each)."""
     architecture = _architecture(args.arch)
+    device = _device(args.device)
+    device.require_architecture(architecture)
     scheme = ReuseScheme(args.scheme)
     policies = ([mapping_by_index(args.mapping)] if args.mapping
                 else list(TABLE1_MAPPINGS))
     for layer in _layers(args.model, args.layer):
         result = explore_layer(
             layer, architectures=(architecture,), schemes=(scheme,),
-            policies=policies)
+            policies=policies, device=device)
         rows = []
         for policy in policies:
             best = result.best(policy=policy)
@@ -101,7 +149,8 @@ def cmd_edp(args: argparse.Namespace) -> int:
         print(format_table(
             ["mapping", "energy [mJ]", "latency [ms]", "EDP [J*s]"],
             rows,
-            title=f"{layer.name} on {architecture.value}, "
+            title=f"{layer.name} on {architecture.value} "
+                  f"({device.name}), "
                   f"{scheme.value} (best tiling per mapping)"))
         print()
     return 0
@@ -112,6 +161,8 @@ def cmd_dse(args: argparse.Namespace) -> int:
     from .core.engine import DEFAULT_CHUNK_SIZE, ExplorationEngine
 
     architecture = _architecture(args.arch)
+    device = _device(args.device)
+    device.require_architecture(architecture)
     if args.jobs < 0:
         raise SystemExit(f"--jobs must be >= 0, got {args.jobs}")
     if args.chunk_size is not None and args.chunk_size <= 0:
@@ -125,7 +176,8 @@ def cmd_dse(args: argparse.Namespace) -> int:
     total = 0.0
     for layer in _layers(args.model, args.layer):
         result = explore_layer(
-            layer, architectures=(architecture,), engine=engine)
+            layer, architectures=(architecture,), engine=engine,
+            device=device)
         best = result.best()
         total += best.edp_js
         tiling = best.tiling
@@ -139,23 +191,39 @@ def cmd_dse(args: argparse.Namespace) -> int:
     print(format_table(
         ["layer", "mapping", "schedule", "tiling Th/Tw/Tj/Ti",
          "min EDP [J*s]"],
-        rows, title=f"Algorithm 1 on {architecture.value}"))
+        rows, title=f"Algorithm 1 on {architecture.value} "
+                    f"({device.name})"))
     return 0
 
 
 def cmd_traffic(args: argparse.Namespace) -> int:
-    """DRAM traffic per scheduling scheme for each layer."""
+    """DRAM traffic per scheduling scheme for each layer.
+
+    Byte counts are device-independent; with ``--device`` each cell
+    also shows the burst count on that device's interface (bytes per
+    burst differ across generations).
+    """
+    device = _device(args.device) if args.device else None
     rows = []
     for layer in _layers(args.model, args.layer):
         tiling = enumerate_tilings(layer)[0]
         row = [layer.name]
         for scheme in CONCRETE_SCHEMES:
             traffic = layer_traffic(layer, tiling, scheme)
-            row.append(format_bytes(traffic.total_bytes))
+            cell = format_bytes(traffic.total_bytes)
+            if device is not None:
+                bursts = device.organization.accesses_for_bytes(
+                    traffic.total_bytes)
+                cell += f" ({bursts} bursts)"
+            row.append(cell)
         rows.append(row)
+    title = f"DRAM traffic of {args.model}"
+    if device is not None:
+        title += (f" on {device.name} "
+                  f"({device.organization.bytes_per_burst} B/burst)")
     print(format_table(
         ["layer"] + [s.value for s in CONCRETE_SCHEMES],
-        rows, title=f"DRAM traffic of {args.model}"))
+        rows, title=title))
     return 0
 
 
@@ -172,6 +240,28 @@ def cmd_models(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_devices(args: argparse.Namespace) -> int:
+    """List the registered DRAM device profiles."""
+    del args
+    rows = []
+    for profile in DEVICE_REGISTRY:
+        org = profile.organization
+        geometry = (f"{org.channels}ch x {org.banks_per_chip}ba x "
+                    f"{org.subarrays_per_bank}sa, "
+                    f"x{org.device_width_bits}")
+        rows.append([
+            profile.name,
+            str(profile.data_rate_mts),
+            geometry,
+            format_bytes(profile.capacity_bytes),
+            "/".join(a.value for a in profile.supported_architectures),
+        ])
+    print(format_table(
+        ["device", "MT/s", "geometry", "capacity", "architectures"],
+        rows, title="Registered DRAM device profiles"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -182,7 +272,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_char = subparsers.add_parser(
         "characterize", help="print the Fig.-1 per-condition costs")
     p_char.add_argument("--arch", default=None,
-                        help="one architecture (default: all four)")
+                        help="one architecture (default: every "
+                             "architecture the device supports)")
+    p_char.add_argument("--device", default=None,
+                        help="device profile name, or 'all' for every "
+                             "registered device (default: "
+                             "ddr3-1600-2gb-x8)")
     p_char.set_defaults(func=cmd_characterize)
 
     p_edp = subparsers.add_parser(
@@ -196,6 +291,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_edp.add_argument("--mapping", type=int, default=None,
                        choices=range(1, 7),
                        help="Table-I index (default: all six)")
+    p_edp.add_argument("--device", default=None,
+                       help="device profile name (default: "
+                            "ddr3-1600-2gb-x8)")
     p_edp.set_defaults(func=cmd_edp)
 
     p_dse = subparsers.add_parser(
@@ -212,6 +310,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_dse.add_argument(
         "--chunk-size", type=int, default=None,
         help="grid points per shard (default: 256)")
+    p_dse.add_argument("--device", default=None,
+                       help="device profile name (default: "
+                            "ddr3-1600-2gb-x8)")
     p_dse.set_defaults(func=cmd_dse)
 
     p_traffic = subparsers.add_parser(
@@ -219,20 +320,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_traffic.add_argument("--model", default="alexnet",
                            choices=sorted(MODEL_REGISTRY))
     p_traffic.add_argument("--layer", default=None)
+    p_traffic.add_argument("--device", default=None,
+                           help="device profile name: adds per-device "
+                                "burst counts")
     p_traffic.set_defaults(func=cmd_traffic)
 
     p_models = subparsers.add_parser(
         "models", help="list registered models")
     p_models.set_defaults(func=cmd_models)
 
+    p_devices = subparsers.add_parser(
+        "devices", help="list registered DRAM device profiles")
+    p_devices.set_defaults(func=cmd_devices)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Configuration problems — unknown ``--device``/``--arch`` names, an
+    architecture outside the device's capability set — exit with
+    status 2 (argparse's usage-error convention) and the message names
+    the valid choices.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ConfigurationError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

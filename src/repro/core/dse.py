@@ -26,8 +26,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..cnn.layer import ConvLayer
 from ..cnn.scheduling import ALL_SCHEMES, ReuseScheme
 from ..cnn.tiling import BufferConfig, TABLE2_BUFFERS, TilingConfig
-from ..dram.architecture import ALL_ARCHITECTURES, DRAMArchitecture
-from ..dram.presets import DDR3_1600_2GB_X8
+from ..dram.architecture import DRAMArchitecture
+from ..dram.device import DeviceProfile
 from ..dram.spec import DRAMOrganization
 from ..errors import DseError
 from ..mapping.catalog import TABLE1_MAPPINGS
@@ -114,15 +114,16 @@ def _engine_for(jobs, chunk_size, engine):
 
 def explore_layer(
     layer: ConvLayer,
-    architectures: Sequence[DRAMArchitecture] = ALL_ARCHITECTURES,
+    architectures: Optional[Sequence[DRAMArchitecture]] = None,
     schemes: Sequence[ReuseScheme] = ALL_SCHEMES,
     policies: Sequence[MappingPolicy] = TABLE1_MAPPINGS,
     buffers: BufferConfig = TABLE2_BUFFERS,
-    organization: DRAMOrganization = DDR3_1600_2GB_X8,
+    organization: Optional[DRAMOrganization] = None,
     tilings: Optional[Iterable[TilingConfig]] = None,
     jobs: int = 1,
     chunk_size: Optional[int] = None,
     engine=None,
+    device: Optional[DeviceProfile] = None,
 ) -> DseResult:
     """Algorithm 1 for one layer: evaluate every admissible combination.
 
@@ -138,13 +139,17 @@ def explore_layer(
     engine:
         Pre-built engine to run on (overrides ``jobs``/``chunk_size``);
         reusing one engine across calls shares its evaluation caches.
+    device:
+        DRAM device profile to explore on (default: the paper's
+        Table-II device); every requested architecture must be in its
+        capability set.
     """
     eng = _engine_for(jobs, chunk_size, engine)
     tilings_seq = None if tilings is None else list(tilings)
     return eng.explore_layer(
         layer, architectures=architectures, schemes=schemes,
         policies=policies, buffers=buffers, organization=organization,
-        tilings=tilings_seq)
+        tilings=tilings_seq, device=device)
 
 
 def explore_network(

@@ -14,12 +14,12 @@ from typing import Dict, Optional
 
 from ..dram.characterize import (
     CharacterizationResult,
-    characterize_preset,
+    characterize_cached,
 )
 from ..dram.architecture import DRAMArchitecture
 from ..dram.commands import RequestKind
+from ..dram.device import DeviceProfile, resolve_device
 from ..dram.spec import DRAMOrganization
-from ..dram.presets import DDR3_1600_2GB_X8
 from ..cnn.layer import ConvLayer
 from ..cnn.scheduling import ReuseScheme
 from ..cnn.tiling import TilingConfig
@@ -141,14 +141,19 @@ def layer_edp(
     scheme: ReuseScheme,
     policy: MappingPolicy,
     architecture: DRAMArchitecture,
-    organization: DRAMOrganization = DDR3_1600_2GB_X8,
+    organization: Optional[DRAMOrganization] = None,
     characterization: Optional[CharacterizationResult] = None,
     cache=None,
+    device: Optional[DeviceProfile] = None,
 ) -> LayerEDP:
     """EDP of one layer for one (tiling, scheme, mapping, architecture).
 
     ``ADAPTIVE_REUSE`` resolves to the concrete scheme minimizing the
     layer's DRAM traffic before costing.
+
+    ``device`` selects the DRAM device profile (default: the paper's
+    Table-II device); ``organization`` overrides its geometry.  The
+    device's capability set must include ``architecture``.
 
     ``cache`` optionally supplies an
     :class:`repro.core.engine.EvaluationCache`; the policy-independent
@@ -156,12 +161,15 @@ def layer_edp(
     then memoized across calls, which the Algorithm-1 grid reuses
     24-fold per tiling.
     """
+    profile = resolve_device(device, organization)
+    organization = profile.organization
     if cache is not None:
         resolved = cache.resolve_scheme(layer, tiling, scheme)
     else:
         resolved = resolve_adaptive(layer, tiling, scheme)
     if characterization is None:
-        characterization = characterize_preset(architecture)
+        characterization = characterize_cached(
+            architecture, device=profile)
     if cache is not None:
         traffic: LayerTraffic = cache.traffic(layer, tiling, resolved)
     else:
@@ -190,15 +198,17 @@ def network_edp(
     scheme: ReuseScheme,
     policy: MappingPolicy,
     architecture: DRAMArchitecture,
-    organization: DRAMOrganization = DDR3_1600_2GB_X8,
+    organization: Optional[DRAMOrganization] = None,
+    device: Optional[DeviceProfile] = None,
 ) -> NetworkEDP:
     """EDP of a whole network with per-layer tilings."""
-    characterization = characterize_preset(architecture)
+    profile = resolve_device(device, organization)
+    characterization = characterize_cached(architecture, device=profile)
     per_layer: Dict[str, LayerEDP] = {}
     for layer in layers:
         per_layer[layer.name] = layer_edp(
             layer, tilings[layer.name], scheme, policy, architecture,
-            organization=organization,
             characterization=characterization,
+            device=profile,
         )
     return NetworkEDP(per_layer=per_layer)

@@ -15,8 +15,8 @@ intermediate per point.  This module is the scalable replacement:
 2. **Characterization caching** — the Fig.-1 per-condition costs are
    fetched through the process-wide LRU
    :class:`repro.dram.characterize.CharacterizationCache`, keyed on
-   ``(organization, architecture)``, so ``characterize`` runs once per
-   configuration instead of once per design point.
+   ``(profile, architecture)``, so ``characterize`` runs once per
+   device configuration instead of once per design point.
 3. **Evaluation memoization** — an :class:`EvaluationCache` memoizes
    the policy-independent intermediates of the EDP model: DRAM traffic
    per ``(layer, tiling, scheme)``, adaptive-scheme resolution, and the
@@ -83,13 +83,13 @@ from ..cnn.tiling import (
 )
 from ..caching import LRUMemo
 from ..cnn.traffic import LayerTraffic, layer_traffic
-from ..dram.architecture import ALL_ARCHITECTURES, DRAMArchitecture
+from ..dram.architecture import DRAMArchitecture
 from ..dram.characterize import (
     CharacterizationCache,
     CharacterizationResult,
     DEFAULT_CHARACTERIZATION_CACHE,
 )
-from ..dram.presets import DDR3_1600_2GB_X8
+from ..dram.device import DeviceProfile, resolve_device
 from ..dram.spec import DRAMOrganization
 from ..errors import DseError
 from ..mapping.catalog import TABLE1_MAPPINGS
@@ -198,9 +198,14 @@ class ExplorationContext:
     architectures: Tuple[DRAMArchitecture, ...]
     schemes: Tuple[ReuseScheme, ...]
     policies: Tuple[MappingPolicy, ...]
-    organization: DRAMOrganization
+    device: DeviceProfile
     characterizations: Dict[DRAMArchitecture, CharacterizationResult]
     offsets: Tuple[int, ...]  # layers[i].offset, precomputed for decode
+
+    @property
+    def organization(self) -> DRAMOrganization:
+        """Geometry the grid is evaluated on (the device's)."""
+        return self.device.organization
 
     @property
     def total_points(self) -> int:
@@ -231,15 +236,28 @@ class ExplorationContext:
 
 def _build_context(
     layers: Sequence[ConvLayer],
-    architectures: Sequence[DRAMArchitecture],
+    architectures: Optional[Sequence[DRAMArchitecture]],
     schemes: Sequence[ReuseScheme],
     policies: Sequence[MappingPolicy],
     buffers: BufferConfig,
-    organization: DRAMOrganization,
+    organization: Optional[DRAMOrganization],
     tilings: Optional[Sequence[TilingConfig]],
     characterization_cache: CharacterizationCache,
+    device: Optional[DeviceProfile] = None,
 ) -> ExplorationContext:
-    """Validate the grid and pre-compute everything shards share."""
+    """Validate the grid and pre-compute everything shards share.
+
+    The resolved :class:`DeviceProfile` (with ``organization`` folded
+    in) is embedded in the context, so worker processes reconstruct
+    the exact device deterministically from the pickled context alone.
+    ``architectures=None`` selects the device's capability set; an
+    explicit sequence must be within it.
+    """
+    profile = resolve_device(device, organization)
+    if architectures is None:
+        architectures = profile.supported_architectures
+    for architecture in architectures:
+        profile.require_architecture(architecture)
     grids: List[_LayerGrid] = []
     offset = 0
     per_point = len(architectures) * len(schemes) * len(policies)
@@ -261,7 +279,8 @@ def _build_context(
             layer=layer, tilings=admissible, offset=offset))
         offset += per_point * len(admissible)
     characterizations = {
-        architecture: characterization_cache.get(architecture, organization)
+        architecture: characterization_cache.get(
+            architecture, device=profile)
         for architecture in architectures
     }
     return ExplorationContext(
@@ -269,7 +288,7 @@ def _build_context(
         architectures=tuple(architectures),
         schemes=tuple(schemes),
         policies=tuple(policies),
-        organization=organization,
+        device=profile,
         characterizations=characterizations,
         offsets=tuple(grid.offset for grid in grids),
     )
@@ -301,9 +320,9 @@ def _evaluate_range(
         layer, architecture, scheme, policy, tiling = context.decode(index)
         result = layer_edp(
             layer, tiling, scheme, policy, architecture,
-            organization=context.organization,
             characterization=context.characterizations[architecture],
             cache=cache,
+            device=context.device,
         )
         points.append(DsePoint(
             layer_name=layer.name,
@@ -491,37 +510,43 @@ class ExplorationEngine:
     def explore_layer(
         self,
         layer: ConvLayer,
-        architectures: Sequence[DRAMArchitecture] = ALL_ARCHITECTURES,
+        architectures: Optional[Sequence[DRAMArchitecture]] = None,
         schemes: Sequence[ReuseScheme] = ALL_SCHEMES,
         policies: Sequence[MappingPolicy] = TABLE1_MAPPINGS,
         buffers: BufferConfig = TABLE2_BUFFERS,
-        organization: DRAMOrganization = DDR3_1600_2GB_X8,
+        organization: Optional[DRAMOrganization] = None,
         tilings: Optional[Sequence[TilingConfig]] = None,
+        device: Optional[DeviceProfile] = None,
     ) -> DseResult:
         """Algorithm 1 for one layer; full exploration record."""
         return self.explore_network(
             [layer], architectures=architectures, schemes=schemes,
             policies=policies, buffers=buffers, organization=organization,
-            tilings=tilings)
+            tilings=tilings, device=device)
 
     def explore_network(
         self,
         layers: Sequence[ConvLayer],
-        architectures: Sequence[DRAMArchitecture] = ALL_ARCHITECTURES,
+        architectures: Optional[Sequence[DRAMArchitecture]] = None,
         schemes: Sequence[ReuseScheme] = ALL_SCHEMES,
         policies: Sequence[MappingPolicy] = TABLE1_MAPPINGS,
         buffers: BufferConfig = TABLE2_BUFFERS,
-        organization: DRAMOrganization = DDR3_1600_2GB_X8,
+        organization: Optional[DRAMOrganization] = None,
         tilings: Optional[Sequence[TilingConfig]] = None,
+        device: Optional[DeviceProfile] = None,
     ) -> DseResult:
         """Algorithm 1 over all layers; full exploration record.
 
-        The returned points are in the serial nested-loop order
-        regardless of ``jobs``.
+        ``device`` selects the DRAM device profile (default: the
+        paper's Table-II device); every architecture in
+        ``architectures`` must be in its capability set.  The returned
+        points are in the serial nested-loop order regardless of
+        ``jobs``.
         """
         context = _build_context(
             layers, architectures, schemes, policies, buffers,
-            organization, tilings, self.characterization_cache)
+            organization, tilings, self.characterization_cache,
+            device=device)
         shards: Dict[int, List[DsePoint]] = {}
         for start, points in self._shard_results(context):
             shards[start] = points
@@ -533,12 +558,13 @@ class ExplorationEngine:
     def explore_reduced(
         self,
         layers: Sequence[ConvLayer],
-        architectures: Sequence[DRAMArchitecture] = ALL_ARCHITECTURES,
+        architectures: Optional[Sequence[DRAMArchitecture]] = None,
         schemes: Sequence[ReuseScheme] = ALL_SCHEMES,
         policies: Sequence[MappingPolicy] = TABLE1_MAPPINGS,
         buffers: BufferConfig = TABLE2_BUFFERS,
-        organization: DRAMOrganization = DDR3_1600_2GB_X8,
+        organization: Optional[DRAMOrganization] = None,
         tilings: Optional[Sequence[TilingConfig]] = None,
+        device: Optional[DeviceProfile] = None,
     ) -> ReducedExploration:
         """Bounded-memory exploration: stream shards into minima.
 
@@ -548,7 +574,8 @@ class ExplorationEngine:
         """
         context = _build_context(
             layers, architectures, schemes, policies, buffers,
-            organization, tilings, self.characterization_cache)
+            organization, tilings, self.characterization_cache,
+            device=device)
         reduced = ReducedExploration()
         for start, points in self._shard_results(context):
             reduced.absorb(start, points)

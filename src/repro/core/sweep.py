@@ -7,9 +7,10 @@ DRMap's advantage respond.  They power the ablation benchmarks and
 give downstream users a one-call sensitivity analysis for their own
 design points.
 
-All sweeps route their DRAM characterizations through the process-wide
+All sweeps accept a ``device`` profile (default: the paper's Table-II
+device), route their DRAM characterizations through the process-wide
 :data:`repro.dram.characterize.DEFAULT_CHARACTERIZATION_CACHE` (keyed
-on ``(organization, architecture)``) and share one
+on ``(profile, architecture)``) and share one
 :class:`repro.core.engine.EvaluationCache`, so comparing two policies
 at one sweep value characterizes the device once — the seed version
 re-ran the simulator micro-experiments for every policy at every
@@ -33,7 +34,7 @@ from ..cnn.scheduling import ReuseScheme
 from ..cnn.tiling import BufferConfig, TABLE2_BUFFERS, enumerate_tilings
 from ..dram.architecture import DRAMArchitecture
 from ..dram.characterize import characterize_cached
-from ..dram.presets import DDR3_1600_2GB_X8
+from ..dram.device import DeviceProfile, resolve_device
 from ..dram.spec import DRAMOrganization
 from ..mapping.catalog import DRMAP, MAPPING_2
 from ..mapping.policy import MappingPolicy
@@ -74,19 +75,21 @@ def _min_edp(
     layer: ConvLayer,
     policy: MappingPolicy,
     architecture: DRAMArchitecture,
-    organization: DRAMOrganization,
+    device: DeviceProfile,
     buffers: BufferConfig,
     scheme: ReuseScheme,
+    organization: Optional[DRAMOrganization] = None,
 ) -> float:
-    characterization = characterize_cached(architecture, organization)
+    profile = resolve_device(device, organization)
+    characterization = characterize_cached(architecture, device=profile)
     cache = _evaluation_cache()
     best: Optional[float] = None
     for tiling in enumerate_tilings(layer, buffers):
         result = layer_edp(
             layer, tiling, scheme, policy, architecture,
-            organization=organization,
             characterization=characterization,
-            cache=cache)
+            cache=cache,
+            device=profile)
         if best is None or result.edp_js < best:
             best = result.edp_js
     if best is None:
@@ -99,24 +102,26 @@ def sweep_subarrays(
     subarray_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
     architecture: DRAMArchitecture = DRAMArchitecture.SALP_MASA,
     scheme: ReuseScheme = ReuseScheme.ADAPTIVE_REUSE,
+    device: Optional[DeviceProfile] = None,
 ) -> List[SweepPoint]:
     """EDP vs subarrays-per-bank.
 
     More subarrays give SALP more parallelism to exploit -- and give
     bad mappings more subarray boundaries to trip over.
     """
+    profile = resolve_device(device)
     points = []
     for count in subarray_counts:
-        organization = DDR3_1600_2GB_X8.with_subarrays(count)
+        organization = profile.organization.with_subarrays(count)
         points.append(SweepPoint(
             parameter="subarrays_per_bank",
             value=count,
             drmap_edp_js=_min_edp(
-                layer, DRMAP, architecture, organization,
-                TABLE2_BUFFERS, scheme),
+                layer, DRMAP, architecture, profile,
+                TABLE2_BUFFERS, scheme, organization=organization),
             worst_edp_js=_min_edp(
-                layer, MAPPING_2, architecture, organization,
-                TABLE2_BUFFERS, scheme),
+                layer, MAPPING_2, architecture, profile,
+                TABLE2_BUFFERS, scheme, organization=organization),
         ))
     return points
 
@@ -126,8 +131,10 @@ def sweep_buffers(
     sizes_kb: Sequence[int] = (16, 32, 64, 128, 256),
     architecture: DRAMArchitecture = DRAMArchitecture.DDR3,
     scheme: ReuseScheme = ReuseScheme.ADAPTIVE_REUSE,
+    device: Optional[DeviceProfile] = None,
 ) -> List[SweepPoint]:
     """EDP vs on-chip buffer capacity (all three buffers together)."""
+    profile = resolve_device(device)
     points = []
     for size_kb in sizes_kb:
         buffers = BufferConfig(
@@ -139,11 +146,10 @@ def sweep_buffers(
             parameter="buffer_kb",
             value=size_kb,
             drmap_edp_js=_min_edp(
-                layer, DRMAP, architecture, DDR3_1600_2GB_X8, buffers,
-                scheme),
+                layer, DRMAP, architecture, profile, buffers, scheme),
             worst_edp_js=_min_edp(
-                layer, MAPPING_2, architecture, DDR3_1600_2GB_X8,
-                buffers, scheme),
+                layer, MAPPING_2, architecture, profile, buffers,
+                scheme),
         ))
     return points
 
@@ -153,11 +159,13 @@ def sweep_precision(
     bytes_per_element: Sequence[int] = (1, 2, 4),
     architecture: DRAMArchitecture = DRAMArchitecture.DDR3,
     scheme: ReuseScheme = ReuseScheme.ADAPTIVE_REUSE,
+    device: Optional[DeviceProfile] = None,
 ) -> List[SweepPoint]:
     """EDP vs data precision (int8 / fp16 / fp32 footprints).
 
     ``layer_factory(bpe)`` must build the layer at the given precision.
     """
+    profile = resolve_device(device)
     points = []
     for bpe in bytes_per_element:
         layer = layer_factory(bpe)
@@ -165,10 +173,10 @@ def sweep_precision(
             parameter="bytes_per_element",
             value=bpe,
             drmap_edp_js=_min_edp(
-                layer, DRMAP, architecture, DDR3_1600_2GB_X8,
+                layer, DRMAP, architecture, profile,
                 TABLE2_BUFFERS, scheme),
             worst_edp_js=_min_edp(
-                layer, MAPPING_2, architecture, DDR3_1600_2GB_X8,
+                layer, MAPPING_2, architecture, profile,
                 TABLE2_BUFFERS, scheme),
         ))
     return points
@@ -179,8 +187,10 @@ def sweep_batch(
     batches: Sequence[int] = (1, 2, 4, 8),
     architecture: DRAMArchitecture = DRAMArchitecture.DDR3,
     scheme: ReuseScheme = ReuseScheme.ADAPTIVE_REUSE,
+    device: Optional[DeviceProfile] = None,
 ) -> List[SweepPoint]:
     """EDP vs batch size (activations scale, weights amortize)."""
+    profile = resolve_device(device)
     points = []
     for batch in batches:
         layer = layer_factory(batch)
@@ -188,10 +198,10 @@ def sweep_batch(
             parameter="batch",
             value=batch,
             drmap_edp_js=_min_edp(
-                layer, DRMAP, architecture, DDR3_1600_2GB_X8,
+                layer, DRMAP, architecture, profile,
                 TABLE2_BUFFERS, scheme),
             worst_edp_js=_min_edp(
-                layer, MAPPING_2, architecture, DDR3_1600_2GB_X8,
+                layer, MAPPING_2, architecture, profile,
                 TABLE2_BUFFERS, scheme),
         ))
     return points

@@ -25,7 +25,18 @@ from .characterize import (
     characterize,
     characterize_all,
     characterize_cached,
+    characterize_device,
     characterize_preset,
+)
+from .device import (
+    DEFAULT_DEVICE_NAME,
+    DEVICE_REGISTRY,
+    DeviceProfile,
+    DeviceRegistry,
+    default_device,
+    device_names,
+    get_device,
+    register_device,
 )
 from .commands import (
     Command,
@@ -40,7 +51,6 @@ from .energy import EnergyAccountant, TraceEnergy
 from .power import CurrentParameters, DDR3_1600_2GB_X8_CURRENTS, EnergyModel
 from .presets import (
     DDR3_1600_2GB_X8,
-    SALP_2GB_X8,
     TINY_ORGANIZATION,
     organization_for,
 )
@@ -75,7 +85,11 @@ __all__ = [
     "DDR3_1600_2GB_X8_CURRENTS",
     "DDR3_1600_TIMINGS",
     "DEFAULT_CHARACTERIZATION_CACHE",
+    "DEFAULT_DEVICE_NAME",
+    "DEVICE_REGISTRY",
     "DRAMArchitecture",
+    "DeviceProfile",
+    "DeviceRegistry",
     "DRAMOrganization",
     "DRAMSimulator",
     "EnergyAccountant",
@@ -83,7 +97,6 @@ __all__ = [
     "MemoryController",
     "Request",
     "RequestKind",
-    "SALP_2GB_X8",
     "SALP_ARCHITECTURES",
     "ServicedRequest",
     "SimulationResult",
@@ -95,8 +108,13 @@ __all__ = [
     "characterize",
     "characterize_all",
     "characterize_cached",
+    "characterize_device",
     "characterize_preset",
+    "default_device",
+    "device_names",
+    "get_device",
     "organization_for",
+    "register_device",
     "read_command_trace",
     "read_request_trace",
     "request_to_address",

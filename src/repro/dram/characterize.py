@@ -34,8 +34,9 @@ from typing import Callable, Dict, List, Mapping, Optional
 from ..caching import CacheStats, LRUMemo
 
 from .address import Coordinate
-from .architecture import ALL_ARCHITECTURES, DRAMArchitecture
+from .architecture import DRAMArchitecture
 from .commands import Request, RequestKind
+from .device import DEFAULT_DEVICE_NAME, DeviceProfile, resolve_device
 from .simulator import DRAMSimulator
 from .spec import DRAMOrganization
 
@@ -80,11 +81,12 @@ class ConditionCost:
 
 @dataclass(frozen=True)
 class CharacterizationResult:
-    """Fig.-1 numbers for one architecture."""
+    """Fig.-1 numbers for one architecture on one device."""
 
     architecture: DRAMArchitecture
     costs: Mapping[AccessCondition, ConditionCost]
     tck_ns: float
+    device_name: str = DEFAULT_DEVICE_NAME
 
     def cost(self, condition: AccessCondition) -> ConditionCost:
         """Cost of ``condition``."""
@@ -194,6 +196,7 @@ def characterize(
     simulator: DRAMSimulator = None,
     short_count: int = 64,
     long_count: int = 320,
+    device: Optional[DeviceProfile] = None,
 ) -> CharacterizationResult:
     """Measure the Fig.-1 per-condition costs for ``architecture``.
 
@@ -203,13 +206,26 @@ def characterize(
         DRAM architecture to characterize.
     simulator:
         Optional pre-built simulator (must match ``architecture``); by
-        default the Table-II preset is used.
+        default one is built from ``device``.
     short_count / long_count:
         Stream lengths for the marginal measurement.  Both must exceed
         one full sweep of the widest stream so warm-up effects cancel.
+    device:
+        Device profile to characterize (default: the paper's Table-II
+        device).  Its capability set must include ``architecture``.
+        When ``simulator`` is supplied the profile's parameters are
+        not used; it only labels the result's ``device_name`` (a
+        pre-built simulator of unknown provenance is labelled
+        ``"custom"``).
     """
     if simulator is None:
-        simulator = DRAMSimulator.from_preset(architecture)
+        profile = resolve_device(device)
+        simulator = DRAMSimulator.from_profile(profile, architecture)
+        device_name = profile.name
+    elif device is not None:
+        device_name = device.name
+    else:
+        device_name = "custom"
     costs: Dict[AccessCondition, ConditionCost] = {}
     for condition, stream in _STREAMS.items():
         read_cycles, read_nj = _marginal_cost(
@@ -234,6 +250,7 @@ def characterize(
         architecture=architecture,
         costs=costs,
         tck_ns=simulator.timings.tck_ns,
+        device_name=device_name,
     )
 
 
@@ -244,9 +261,13 @@ class CharacterizationCache:
     plus two isolated requests on the cycle-level simulator — tens of
     milliseconds each, which dominates small sweeps when repeated per
     design point.  This cache keys results on the pair
-    ``(organization, architecture)`` (both read and write costs are
-    measured in one pass, so the request kind needs no key component)
-    and evicts least-recently-used entries beyond ``maxsize``.
+    ``(profile, architecture)`` — a :class:`DeviceProfile` captures
+    geometry, timings and currents, so two devices sharing a geometry
+    but differing in speed grade or IDD currents can never collide —
+    and evicts least-recently-used entries beyond ``maxsize``.  Both
+    read and write costs are measured in one pass, so the request kind
+    needs no key component.  Hits and misses are additionally counted
+    per device name (:meth:`device_stats`).
 
     The cache is safe to share across threads of one process for
     *reading* mixed workloads (CPython dict operations are atomic
@@ -268,6 +289,7 @@ class CharacterizationCache:
 
     def __init__(self, maxsize: int = 64) -> None:
         self._memo = LRUMemo(maxsize)
+        self._per_device: Dict[str, List[int]] = {}
 
     @property
     def maxsize(self) -> int:
@@ -279,36 +301,54 @@ class CharacterizationCache:
         """Current hit/miss counters."""
         return self._memo.stats
 
+    def device_stats(self, device_name: str) -> CacheStats:
+        """Hit/miss counters for one device name."""
+        hits, misses = self._per_device.get(device_name, (0, 0))
+        return CacheStats(hits=hits, misses=misses)
+
+    def per_device_stats(self) -> Dict[str, CacheStats]:
+        """Hit/miss counters of every device this cache has served."""
+        return {
+            name: CacheStats(hits=hits, misses=misses)
+            for name, (hits, misses) in self._per_device.items()
+        }
+
     def __len__(self) -> int:
         return len(self._memo)
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
         self._memo.clear()
+        self._per_device.clear()
 
     def get(
         self,
         architecture: DRAMArchitecture,
         organization: Optional[DRAMOrganization] = None,
+        device: Optional[DeviceProfile] = None,
     ) -> CharacterizationResult:
-        """Characterization of ``architecture`` on ``organization``.
+        """Characterization of ``architecture`` on a device.
 
-        ``organization=None`` selects the Table-II preset geometry.
+        ``device=None`` selects the paper's Table-II device; a
+        non-``None`` ``organization`` overrides the profile's geometry
+        (the sweeps vary geometry at a fixed speed grade).  The
+        device's capability set must include ``architecture``.
         Results are computed on first use and served from the cache —
         as the *same object* — afterwards.
         """
-        if organization is None:
-            from .presets import organization_for
-
-            organization = organization_for(architecture)
+        profile = resolve_device(device, organization)
+        profile.require_architecture(architecture)
 
         def compute() -> CharacterizationResult:
-            simulator = DRAMSimulator(
-                organization, architecture=architecture)
-            return characterize(architecture, simulator=simulator)
+            simulator = DRAMSimulator.from_profile(profile, architecture)
+            return characterize(
+                architecture, simulator=simulator, device=profile)
 
-        return self._memo.get_or_compute(
-            (organization, architecture), compute)
+        result, hit = self._memo.get_or_compute_flagged(
+            (profile, architecture), compute)
+        counters = self._per_device.setdefault(profile.name, [0, 0])
+        counters[0 if hit else 1] += 1
+        return result
 
 
 #: Process-wide default cache; :func:`characterize_preset`,
@@ -321,23 +361,54 @@ DEFAULT_CHARACTERIZATION_CACHE = CharacterizationCache()
 def characterize_cached(
     architecture: DRAMArchitecture,
     organization: Optional[DRAMOrganization] = None,
+    device: Optional[DeviceProfile] = None,
 ) -> CharacterizationResult:
     """Characterize through the process-wide LRU cache.
 
-    Like :func:`characterize` but keyed on
-    ``(organization, architecture)`` so repeated requests — e.g. one
-    per design point of a sweep — hit the simulator only once per
-    configuration.
+    Like :func:`characterize` but keyed on ``(profile, architecture)``
+    so repeated requests — e.g. one per design point of a sweep — hit
+    the simulator only once per configuration.
     """
-    return DEFAULT_CHARACTERIZATION_CACHE.get(architecture, organization)
+    return DEFAULT_CHARACTERIZATION_CACHE.get(
+        architecture, organization, device=device)
 
 
 def characterize_preset(architecture: DRAMArchitecture
                         ) -> CharacterizationResult:
-    """Cached characterization of the Table-II preset configuration."""
+    """Cached characterization of the Table-II preset configuration.
+
+    .. deprecated::
+        Use :func:`characterize_cached` with an explicit ``device``;
+        this is equivalent to ``device=default_device()``.
+    """
     return DEFAULT_CHARACTERIZATION_CACHE.get(architecture)
 
 
-def characterize_all() -> Dict[DRAMArchitecture, CharacterizationResult]:
-    """Fig.-1 characterization for all four architectures."""
-    return {arch: characterize_preset(arch) for arch in ALL_ARCHITECTURES}
+def characterize_device(
+    device: DeviceProfile,
+    architectures: Optional[tuple] = None,
+) -> Dict[DRAMArchitecture, CharacterizationResult]:
+    """Cached Fig.-1 characterization of one device.
+
+    By default every architecture in the device's capability set is
+    characterized; an explicit ``architectures`` sequence is validated
+    against that set.
+    """
+    if architectures is None:
+        architectures = device.supported_architectures
+    return {
+        arch: DEFAULT_CHARACTERIZATION_CACHE.get(arch, device=device)
+        for arch in architectures
+    }
+
+
+def characterize_all(
+    device: Optional[DeviceProfile] = None,
+) -> Dict[DRAMArchitecture, CharacterizationResult]:
+    """Fig.-1 characterization for every supported architecture.
+
+    With the default device this is the paper's Fig. 1: all four
+    architectures on DDR3-1600 2 Gb x8.
+    """
+    profile = resolve_device(device)
+    return characterize_device(profile)

@@ -10,6 +10,13 @@ just cannot exploit them; we keep ``subarrays_per_bank=8`` for DDR3 as
 well so the *same* address space is shared by every architecture and a
 mapping policy means the same placement everywhere.  Only the
 architecture behaviour flags differ.
+
+.. deprecated::
+    Importing these geometry constants directly is deprecated: prefer
+    resolving a full :class:`~repro.dram.device.DeviceProfile` from
+    :data:`repro.dram.device.DEVICE_REGISTRY` (the objects are shared,
+    so ``get_device("ddr3-1600-2gb-x8").organization is
+    DDR3_1600_2GB_X8``).
 """
 
 from __future__ import annotations
@@ -30,9 +37,6 @@ DDR3_1600_2GB_X8 = DRAMOrganization(
     burst_length=8,
 )
 
-#: SALP shares the DDR3 geometry (Table II lists identical organization).
-SALP_2GB_X8 = DDR3_1600_2GB_X8
-
 #: A miniature organization for fast tests and walk-based validation.
 TINY_ORGANIZATION = DRAMOrganization(
     channels=1,
@@ -47,9 +51,19 @@ TINY_ORGANIZATION = DRAMOrganization(
 )
 
 
-def organization_for(architecture: DRAMArchitecture) -> DRAMOrganization:
-    """Return the Table-II organization for ``architecture``."""
-    # All four architectures share the same geometry; SALP differs only
-    # in behaviour (see module docstring).
-    del architecture
-    return DDR3_1600_2GB_X8
+def organization_for(
+    architecture: DRAMArchitecture,
+    device=None,
+) -> DRAMOrganization:
+    """Geometry of ``device`` (default: the Table-II device), after
+    checking that the device supports ``architecture``.
+
+    Architectures never change the geometry — SALP differs only in
+    behaviour flags (see module docstring) — but a device may not model
+    every architecture, so the capability set is enforced here.
+    """
+    from .device import resolve_device
+
+    profile = resolve_device(device)
+    profile.require_architecture(architecture)
+    return profile.organization

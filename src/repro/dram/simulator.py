@@ -8,9 +8,10 @@ model into one object, mirroring the paper's Fig. 8 tool flow:
 
 Example
 -------
->>> from repro.dram import DRAMSimulator, presets
+>>> from repro.dram import DRAMSimulator
 >>> from repro.dram.architecture import DRAMArchitecture
->>> sim = DRAMSimulator.from_preset(DRAMArchitecture.SALP_1)
+>>> sim = DRAMSimulator.from_profile("ddr3-1600-2gb-x8",
+...                                  DRAMArchitecture.SALP_1)
 >>> result = sim.run(sim.sequential_reads(bank=0, subarray=0, row=0, count=8))
 >>> result.trace.row_hits
 7
@@ -87,18 +88,43 @@ class DRAMSimulator:
         self.include_background_energy = include_background_energy
 
     @classmethod
+    def from_profile(
+        cls,
+        device,
+        architecture: DRAMArchitecture = DRAMArchitecture.DDR3,
+        **overrides,
+    ) -> "DRAMSimulator":
+        """Build a simulator for a registered device profile.
+
+        ``device`` is a :class:`~repro.dram.device.DeviceProfile` or a
+        registry name; its capability set must include
+        ``architecture``.  ``overrides`` may replace any constructor
+        parameter (e.g. ``organization=`` for sweep geometries).
+        """
+        from .device import get_device
+        if isinstance(device, str):
+            device = get_device(device)
+        device.require_architecture(architecture)
+        overrides.setdefault("organization", device.organization)
+        overrides.setdefault("timings", device.timings)
+        overrides.setdefault("currents", device.currents)
+        return cls(architecture=architecture, **overrides)
+
+    @classmethod
     def from_preset(
         cls,
         architecture: DRAMArchitecture = DRAMArchitecture.DDR3,
         **overrides,
     ) -> "DRAMSimulator":
-        """Build a simulator for a Table-II configuration."""
-        from .presets import organization_for
-        return cls(
-            organization=organization_for(architecture),
-            architecture=architecture,
-            **overrides,
-        )
+        """Build a simulator for a Table-II configuration.
+
+        .. deprecated::
+            Use :meth:`from_profile` with an explicit device; this is
+            equivalent to ``from_profile(default_device(), ...)``.
+        """
+        from .device import default_device
+        return cls.from_profile(
+            default_device(), architecture=architecture, **overrides)
 
     # ------------------------------------------------------------------
     # Running traces

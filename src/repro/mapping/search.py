@@ -25,7 +25,7 @@ from ..dram.characterize import (
     characterize_cached,
 )
 from ..dram.commands import RequestKind
-from ..dram.presets import DDR3_1600_2GB_X8
+from ..dram.device import DeviceProfile, resolve_device
 from ..dram.spec import DRAMOrganization
 from .counts import count_transitions
 from .dims import Dim, INTRA_CHIP_DIMS
@@ -66,15 +66,19 @@ def score_policy(
     policy: MappingPolicy,
     n_accesses: int,
     architecture: DRAMArchitecture,
-    organization: DRAMOrganization = DDR3_1600_2GB_X8,
+    organization: Optional[DRAMOrganization] = None,
     characterization: Optional[CharacterizationResult] = None,
     kind: RequestKind = RequestKind.READ,
+    device: Optional[DeviceProfile] = None,
 ) -> ScoredPolicy:
     """Cost one policy for a contiguous run of ``n_accesses``."""
     from ..core.conditions import run_cost
 
+    profile = resolve_device(device, organization)
+    organization = profile.organization
     if characterization is None:
-        characterization = characterize_cached(architecture, organization)
+        characterization = characterize_cached(
+            architecture, device=profile)
     counts = count_transitions(policy, organization, n_accesses)
     cost = run_cost(counts, characterization, kind)
     return ScoredPolicy(
@@ -85,16 +89,18 @@ def rank_policies(
     n_accesses: int,
     architecture: DRAMArchitecture,
     policies: Optional[Sequence[MappingPolicy]] = None,
-    organization: DRAMOrganization = DDR3_1600_2GB_X8,
+    organization: Optional[DRAMOrganization] = None,
+    device: Optional[DeviceProfile] = None,
 ) -> List[ScoredPolicy]:
     """All policies sorted by ascending EDP score."""
     if policies is None:
         policies = all_permutation_policies()
-    characterization = characterize_cached(architecture, organization)
+    profile = resolve_device(device, organization)
+    characterization = characterize_cached(architecture, device=profile)
     scored = [
         score_policy(policy, n_accesses, architecture,
-                     organization=organization,
-                     characterization=characterization)
+                     characterization=characterization,
+                     device=profile)
         for policy in policies
     ]
     return sorted(scored, key=lambda s: s.edp_score)
@@ -103,17 +109,20 @@ def rank_policies(
 def best_policy_for(
     n_accesses: int,
     architecture: DRAMArchitecture,
-    organization: DRAMOrganization = DDR3_1600_2GB_X8,
+    organization: Optional[DRAMOrganization] = None,
+    device: Optional[DeviceProfile] = None,
 ) -> ScoredPolicy:
     """The minimum-EDP-cost permutation for a run of ``n_accesses``."""
     return rank_policies(
-        n_accesses, architecture, organization=organization)[0]
+        n_accesses, architecture, organization=organization,
+        device=device)[0]
 
 
 def narrowing_is_sound(
     n_accesses: int,
     architecture: DRAMArchitecture,
-    organization: DRAMOrganization = DDR3_1600_2GB_X8,
+    organization: Optional[DRAMOrganization] = None,
+    device: Optional[DeviceProfile] = None,
 ) -> bool:
     """Check the paper's Table-I narrowing for one configuration.
 
@@ -124,7 +133,8 @@ def narrowing_is_sound(
     permutations; the narrowing only protects the *minimum*.)
     """
     ranked = rank_policies(
-        n_accesses, architecture, organization=organization)
+        n_accesses, architecture, organization=organization,
+        device=device)
     best_overall = ranked[0].edp_score
     best_row_outer = min(
         s.edp_score for s in ranked

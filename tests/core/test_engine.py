@@ -132,6 +132,63 @@ class TestDeterminism:
             layer_name=tiny_layer.name)
 
 
+class TestDeviceThreading:
+    """The device profile must survive shard serialization and default
+    to the paper's device."""
+
+    def test_explicit_default_device_is_identical(self, tiny_layer):
+        from repro.dram.device import default_device
+
+        implicit = explore_layer(tiny_layer, jobs=1)
+        explicit = explore_layer(
+            tiny_layer, jobs=1, device=default_device())
+        assert implicit.points == explicit.points
+
+    def test_parallel_workers_reconstruct_the_device(self, tiny_layer):
+        from repro.dram.device import DDR4_2400_DEVICE
+
+        serial = explore_layer(
+            tiny_layer, jobs=1, device=DDR4_2400_DEVICE)
+        parallel = explore_layer(
+            tiny_layer, jobs=2, chunk_size=61, device=DDR4_2400_DEVICE)
+        assert serial.points == parallel.points
+
+    def test_devices_change_the_numbers(self, tiny_layer):
+        from repro.dram.device import DDR4_2400_DEVICE
+
+        ddr3 = explore_layer(
+            tiny_layer, architectures=(DRAMArchitecture.DDR3,), jobs=1)
+        ddr4 = explore_layer(
+            tiny_layer, architectures=(DRAMArchitecture.DDR3,), jobs=1,
+            device=DDR4_2400_DEVICE)
+        assert len(ddr3.points) == len(ddr4.points)
+        assert ddr3.best().edp_js != ddr4.best().edp_js
+
+    def test_unsupported_architecture_rejected(self, tiny_layer):
+        from repro.dram.device import LPDDR4_3200_DEVICE
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="does not support"):
+            explore_layer(
+                tiny_layer,
+                architectures=(DRAMArchitecture.SALP_MASA,),
+                device=LPDDR4_3200_DEVICE)
+
+    def test_engine_counts_cache_traffic_per_device(self, tiny_layer):
+        from repro.dram.device import LPDDR4_3200_DEVICE
+
+        cache = CharacterizationCache()
+        engine = ExplorationEngine(jobs=1, characterization_cache=cache)
+        engine.explore_layer(
+            tiny_layer, architectures=(DRAMArchitecture.DDR3,),
+            device=LPDDR4_3200_DEVICE)
+        engine.explore_layer(
+            tiny_layer, architectures=(DRAMArchitecture.DDR3,),
+            device=LPDDR4_3200_DEVICE)
+        stats = cache.device_stats("lpddr4-3200")
+        assert (stats.hits, stats.misses) == (1, 1)
+
+
 class TestCaching:
     def test_characterization_runs_once_per_configuration(self, tiny_layer):
         cache = CharacterizationCache()

@@ -1,12 +1,15 @@
 """Tests for the Table-II DRAM presets."""
 
+import pytest
+
 from repro.dram.architecture import DRAMArchitecture
+from repro.dram.device import LPDDR4_3200_DEVICE
 from repro.dram.presets import (
     DDR3_1600_2GB_X8,
-    SALP_2GB_X8,
     TINY_ORGANIZATION,
     organization_for,
 )
+from repro.errors import ConfigurationError
 
 
 class TestTable2Presets:
@@ -19,12 +22,21 @@ class TestTable2Presets:
         assert DDR3_1600_2GB_X8.banks_per_chip == 8
         assert DDR3_1600_2GB_X8.subarrays_per_bank == 8
 
-    def test_salp_shares_geometry(self):
-        assert SALP_2GB_X8 is DDR3_1600_2GB_X8
-
     def test_organization_for_every_architecture(self):
+        # SALP shares the DDR3 geometry (Table II lists identical
+        # organization); only the behaviour flags differ.
         for arch in DRAMArchitecture:
             assert organization_for(arch) is DDR3_1600_2GB_X8
+
+    def test_organization_for_resolves_device(self):
+        organization = organization_for(
+            DRAMArchitecture.DDR3, device=LPDDR4_3200_DEVICE)
+        assert organization is LPDDR4_3200_DEVICE.organization
+
+    def test_organization_for_enforces_capability(self):
+        with pytest.raises(ConfigurationError, match="does not support"):
+            organization_for(
+                DRAMArchitecture.SALP_MASA, device=LPDDR4_3200_DEVICE)
 
 
 class TestTinyOrganization:

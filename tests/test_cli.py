@@ -25,9 +25,52 @@ class TestCharacterize:
         assert "SALP-MASA" in out
         assert "SALP-1" not in out
 
-    def test_unknown_architecture(self, capsys):
-        with pytest.raises(SystemExit):
-            main(["characterize", "--arch", "DDR9"])
+    def test_unknown_architecture_exits_2(self, capsys):
+        code = main(["characterize", "--arch", "DDR9"])
+        assert code == 2
+        err = capsys.readouterr().err
+        # The message must name the valid choices.
+        assert "DDR9" in err
+        assert "SALP-MASA" in err
+
+    def test_single_device(self, capsys):
+        code, out = run_cli(
+            capsys, "characterize", "--device", "lpddr4-3200")
+        assert code == 0
+        assert "lpddr4-3200" in out
+        # LPDDR4 is commodity-only: no SALP rows.
+        assert "SALP" not in out
+
+    def test_all_devices(self, capsys):
+        code, out = run_cli(capsys, "characterize", "--device", "all")
+        assert code == 0
+        for name in ("ddr3-1600-2gb-x8", "tiny", "ddr4-2400",
+                     "lpddr4-3200", "hbm2"):
+            assert name in out
+
+    def test_all_devices_with_salp_skips_commodity_only(self, capsys):
+        code, out = run_cli(capsys, "characterize", "--device", "all",
+                            "--arch", "SALP-1")
+        assert code == 0
+        # SALP-capable devices are characterized...
+        for name in ("ddr3-1600-2gb-x8", "tiny", "ddr4-2400"):
+            assert name in out
+        # ...commodity-only ones are skipped, not fatal.
+        assert "lpddr4-3200" not in out
+        assert "hbm2" not in out
+
+    def test_unknown_device_exits_2(self, capsys):
+        code = main(["characterize", "--device", "ddr9-9999"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "ddr9-9999" in err
+        assert "ddr3-1600-2gb-x8" in err
+
+    def test_unsupported_architecture_exits_2(self, capsys):
+        code = main(["characterize", "--device", "hbm2",
+                     "--arch", "SALP-MASA"])
+        assert code == 2
+        assert "does not support" in capsys.readouterr().err
 
 
 class TestEdp:
@@ -60,6 +103,28 @@ class TestDse:
         assert "Mapping-3 (DRMap)" in out
         assert "Mapping-2" not in out.replace("Mapping-3", "")
 
+    def test_explicit_default_device_matches_default(self, capsys):
+        code, implicit = run_cli(capsys, "dse", "--model", "lenet5",
+                                 "--layer", "C1")
+        assert code == 0
+        code, explicit = run_cli(capsys, "dse", "--model", "lenet5",
+                                 "--layer", "C1",
+                                 "--device", "ddr3-1600-2gb-x8")
+        assert code == 0
+        assert implicit == explicit
+
+    def test_device_capability_enforced(self, capsys):
+        code = main(["dse", "--model", "lenet5", "--layer", "C1",
+                     "--arch", "SALP-MASA", "--device", "lpddr4-3200"])
+        assert code == 2
+        assert "does not support" in capsys.readouterr().err
+
+    def test_other_device_runs(self, capsys):
+        code, out = run_cli(capsys, "dse", "--model", "lenet5",
+                            "--layer", "C1", "--device", "ddr4-2400")
+        assert code == 0
+        assert "ddr4-2400" in out
+
 
 class TestTraffic:
     def test_traffic_table(self, capsys):
@@ -68,6 +133,13 @@ class TestTraffic:
         for scheme in ("ifms-reuse", "wghs-reuse", "ofms-reuse"):
             assert scheme in out
 
+    def test_traffic_with_device_shows_bursts(self, capsys):
+        code, out = run_cli(capsys, "traffic", "--model", "lenet5",
+                            "--device", "hbm2")
+        assert code == 0
+        assert "hbm2" in out
+        assert "bursts" in out
+
 
 class TestModels:
     def test_lists_registry(self, capsys):
@@ -75,6 +147,17 @@ class TestModels:
         assert code == 0
         for name in ("alexnet", "vgg16", "lenet5", "tiny"):
             assert name in out
+
+
+class TestDevices:
+    def test_lists_device_registry(self, capsys):
+        code, out = run_cli(capsys, "devices")
+        assert code == 0
+        for name in ("ddr3-1600-2gb-x8", "tiny", "ddr4-2400",
+                     "lpddr4-3200", "hbm2"):
+            assert name in out
+        # Capability sets are part of the listing.
+        assert "SALP-MASA" in out
 
 
 class TestParser:
