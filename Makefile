@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-devices lint
+.PHONY: test bench bench-devices bench-workloads lint
 
 ## tier-1 verification: the full unit/property/integration/benchmark suite
 test:
@@ -14,6 +14,10 @@ bench:
 ## cross-device characterization micro-benchmark (device registry)
 bench-devices:
 	$(PYTHON) -m pytest benchmarks/test_perf_devices.py -q
+
+## graph-IR lowering overhead gate (<5% vs the direct layer-list DSE)
+bench-workloads:
+	$(PYTHON) -m pytest benchmarks/test_perf_workloads.py -q
 
 ## byte-compile everything and make sure the test suite collects cleanly
 lint:

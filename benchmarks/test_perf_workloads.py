@@ -1,0 +1,82 @@
+"""Graph-lowering overhead gate: the IR must be (almost) free.
+
+The workload IR routes every DSE through ``Network.lower()`` instead
+of a hand-built ``List[ConvLayer]``.  Lowering is a few hundred
+dataclass constructions — microseconds against the seconds the
+Algorithm-1 grid costs — so the graph path must stay within 5% of the
+direct layer-list path on the full AlexNet network DSE, at identical
+output.  Run via ``make bench-workloads``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.engine import ExplorationEngine
+from repro.core.report import format_table
+from repro.dram.architecture import ALL_ARCHITECTURES
+from repro.dram.characterize import characterize_preset
+from repro.workloads import zoo
+
+
+def _best_of(runs: int, func, *args) -> float:
+    best = float("inf")
+    for _ in range(runs):
+        start = time.perf_counter()
+        func(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_lowering_is_microseconds(benchmark):
+    network = zoo.alexnet()
+    layers = benchmark(network.lower)
+    assert len(layers) == 8
+
+
+def test_graph_path_within_5_percent_of_layer_list(alexnet_layers):
+    # Warm the characterization cache so both contenders measure pure
+    # exploration.
+    for architecture in ALL_ARCHITECTURES:
+        characterize_preset(architecture)
+    network = zoo.alexnet()
+
+    list_engine = ExplorationEngine(jobs=1)
+    graph_engine = ExplorationEngine(jobs=1)
+    # One warm-up pass each fills the evaluation memos, mirroring how
+    # the engines run in steady state; identical output is asserted on
+    # the warm-up results.
+    direct_result = list_engine.explore_network(alexnet_layers)
+    graph_result = graph_engine.explore_network(network)
+    assert graph_result.points == direct_result.points
+
+    direct_seconds = _best_of(
+        3, list_engine.explore_network, alexnet_layers)
+    graph_seconds = _best_of(
+        3, graph_engine.explore_network, network)
+
+    print()
+    print(format_table(
+        ["path", "best of 3 [s]", "points"],
+        [
+            ["direct layer list", f"{direct_seconds:.3f}",
+             str(len(direct_result.points))],
+            ["graph lowering", f"{graph_seconds:.3f}",
+             str(len(graph_result.points))],
+        ],
+        title="AlexNet full-network DSE: layer list vs graph IR"))
+    overhead = graph_seconds / direct_seconds - 1.0
+    print(f"graph-lowering overhead: {overhead * 100:+.2f}%")
+
+    assert graph_seconds < direct_seconds * 1.05, (
+        f"graph path {graph_seconds:.3f}s exceeds 105% of the direct "
+        f"path {direct_seconds:.3f}s")
+
+
+def test_network_analysis_is_cheap(benchmark):
+    """Hand-off residency analysis must not add measurable cost."""
+    from repro.workloads import handoff_summary
+
+    network = zoo.resnet18()
+    summary = benchmark(handoff_summary, network)
+    assert len(summary.skip_edges) == 8

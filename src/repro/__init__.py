@@ -15,8 +15,13 @@ Package layout
     Mapping policies (Table I, DRMap), closed-form Eq. 2/3 access
     counts, state-aware reference walk.
 ``repro.cnn``
-    CNN layers and models (AlexNet et al.), tiling, scheduling schemes,
-    DRAM traffic model, request-trace generation.
+    CNN layers, tiling, scheduling schemes, DRAM traffic model,
+    request-trace generation, and the flat-list model-zoo shim.
+``repro.workloads``
+    Graph-based workload IR: operators (conv, depthwise, matmul,
+    pool, eltwise) wired by named feature-map tensors, the model zoo
+    as graph builders (AlexNet ... BERT encoder), the workload
+    registry, and network-level reuse / EDP analysis.
 ``repro.core``
     Analytical EDP model, the Algorithm-1 design space exploration,
     pareto utilities, reporting.
@@ -58,8 +63,22 @@ from .errors import (
     MappingError,
     ReproError,
     SchedulingError,
+    WorkloadError,
 )
 from .mapping.policy import MappingPolicy
+from .workloads import (
+    ConvOp,
+    DepthwiseConvOp,
+    EltwiseOp,
+    MatmulOp,
+    Network,
+    PoolOp,
+    TensorSpec,
+    get_workload,
+    register_model,
+    register_workload,
+    workload_names,
+)
 
 __version__ = "1.0.0"
 
@@ -97,22 +116,34 @@ __all__ = [
     "CapacityError",
     "ConfigurationError",
     "ConvLayer",
+    "ConvOp",
     "DEVICE_REGISTRY",
     "DRAMArchitecture",
+    "DepthwiseConvOp",
     "DeviceProfile",
     "DeviceRegistry",
     "DseError",
+    "EltwiseOp",
     "LayerEDP",
     "MappingError",
     "MappingPolicy",
+    "MatmulOp",
+    "Network",
+    "PoolOp",
     "ReproError",
     "ReuseScheme",
     "SchedulingError",
+    "TensorSpec",
     "TilingConfig",
+    "WorkloadError",
     "default_device",
     "device_names",
     "get_device",
+    "get_workload",
     "quick_layer_edp",
     "register_device",
+    "register_model",
+    "register_workload",
+    "workload_names",
     "__version__",
 ]

@@ -4,16 +4,29 @@ Usage::
 
     python -m repro characterize [--arch DDR3] [--device NAME|all]
     python -m repro edp --model alexnet --layer CONV2 [--mapping 3]
-                        [--device NAME]
+                        [--device NAME] [--batch B]
+                        [--bytes-per-element N]
     python -m repro dse --model alexnet [--arch SALP-MASA] [--layer FC6]
                         [--jobs N] [--chunk-size M] [--device NAME]
-    python -m repro traffic --model alexnet [--device NAME]
-    python -m repro models
+                        [--batch B] [--bytes-per-element N]
+    python -m repro traffic --model alexnet [--device NAME] [--batch B]
+                            [--bytes-per-element N]
+    python -m repro models [--detail] [--model NAME]
     python -m repro devices
 
 Each subcommand prints the same plain-text tables the benchmark
 harness produces, so the paper's experiments are reachable without
 writing any Python.
+
+``--model`` accepts any workload in the
+:mod:`repro.workloads` registry — the graph zoo (``alexnet`` ...
+``resnet18``, ``mobilenetv2``, ``bert-encoder``) plus anything added
+via :func:`repro.workloads.register_workload`.  Graphs lower to the
+paper's 7-dim loop nests before exploration, so ``dse`` runs
+unchanged on CNNs and transformer blocks alike; ``models --detail``
+shows the graph itself (per-op lowering and feature-map hand-off
+residency).  ``--batch`` / ``--bytes-per-element`` instantiate the
+workload at a given batch size and precision.
 
 ``--device`` selects a registered DRAM device profile (see
 ``repro devices``); the default is the paper's ``ddr3-1600-2gb-x8``.
@@ -39,7 +52,6 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .cnn.models import MODEL_REGISTRY, model_by_name
 from .cnn.scheduling import ALL_SCHEMES, CONCRETE_SCHEMES, ReuseScheme
 from .cnn.tiling import enumerate_tilings
 from .cnn.traffic import layer_traffic
@@ -56,6 +68,7 @@ from .dram.device import (
 from .errors import ConfigurationError
 from .mapping.catalog import TABLE1_MAPPINGS, mapping_by_index
 from .units import format_bytes
+from .workloads import get_workload, handoff_summary, workload_names
 
 
 def _architecture(name: str) -> DRAMArchitecture:
@@ -75,15 +88,32 @@ def _device(name: Optional[str]) -> DeviceProfile:
     return get_device(name)
 
 
-def _layers(model: str, layer: Optional[str]):
-    layers = model_by_name(model)
+def _workload(args: argparse.Namespace):
+    """Instantiate the requested workload graph from the registry."""
+    batch = getattr(args, "batch", 1)
+    bytes_per_element = getattr(args, "bytes_per_element", 1)
+    if batch <= 0:
+        raise SystemExit(f"--batch must be positive, got {batch}")
+    if bytes_per_element <= 0:
+        raise SystemExit(
+            f"--bytes-per-element must be positive, "
+            f"got {bytes_per_element}")
+    return get_workload(
+        args.model, batch=batch, bytes_per_element=bytes_per_element)
+
+
+def _layers(args: argparse.Namespace):
+    """The lowered 7-dim loop nests of the requested workload."""
+    layers = _workload(args).lower()
+    layer = getattr(args, "layer", None)
     if layer is None:
         return layers
     matching = [l for l in layers if l.name == layer]
     if not matching:
         names = ", ".join(l.name for l in layers)
         raise SystemExit(
-            f"model {model!r} has no layer {layer!r}; layers: {names}")
+            f"model {args.model!r} has no layer {layer!r}; "
+            f"layers: {names}")
     return matching
 
 
@@ -133,7 +163,7 @@ def cmd_edp(args: argparse.Namespace) -> int:
     scheme = ReuseScheme(args.scheme)
     policies = ([mapping_by_index(args.mapping)] if args.mapping
                 else list(TABLE1_MAPPINGS))
-    for layer in _layers(args.model, args.layer):
+    for layer in _layers(args):
         result = explore_layer(
             layer, architectures=(architecture,), schemes=(scheme,),
             policies=policies, device=device)
@@ -174,7 +204,7 @@ def cmd_dse(args: argparse.Namespace) -> int:
                     else DEFAULT_CHUNK_SIZE))
     rows = []
     total = 0.0
-    for layer in _layers(args.model, args.layer):
+    for layer in _layers(args):
         result = explore_layer(
             layer, architectures=(architecture,), engine=engine,
             device=device)
@@ -205,7 +235,7 @@ def cmd_traffic(args: argparse.Namespace) -> int:
     """
     device = _device(args.device) if args.device else None
     rows = []
-    for layer in _layers(args.model, args.layer):
+    for layer in _layers(args):
         tiling = enumerate_tilings(layer)[0]
         row = [layer.name]
         for scheme in CONCRETE_SCHEMES:
@@ -228,15 +258,43 @@ def cmd_traffic(args: argparse.Namespace) -> int:
 
 
 def cmd_models(args: argparse.Namespace) -> int:
-    """List the registered models and their layers."""
-    del args
+    """List the registered workloads; ``--detail`` shows the graphs."""
+    from .core.report import handoff_table
+
+    names = workload_names()
+    if args.model is not None:
+        if args.model not in names:
+            raise ConfigurationError(
+                f"unknown model {args.model!r}; choose from: "
+                f"{', '.join(names)}")
+        names = [args.model]
     rows = []
-    for name in sorted(MODEL_REGISTRY):
-        layers = model_by_name(name)
-        weights = sum(l.wghs_bytes for l in layers)
-        rows.append([name, str(len(layers)), format_bytes(weights)])
+    networks = {}
+    for name in names:
+        network = get_workload(name)
+        networks[name] = network
+        summary = handoff_summary(network)
+        rows.append([
+            name,
+            str(len(network.ops)),
+            str(len(network.lower())),
+            str(len(summary.skip_edges)),
+            format_bytes(network.weight_bytes),
+        ])
     print(format_table(
-        ["model", "layers", "weights"], rows, title="Registered models"))
+        ["model", "ops", "loop nests", "skip edges", "weights"],
+        rows, title="Registered workloads"))
+    if not args.detail:
+        return 0
+    for name in names:
+        network = networks[name]
+        print()
+        print(format_table(
+            ["op", "kind", "inputs", "output (CxHxW)", "lowers to"],
+            network.describe_rows(),
+            title=f"{name}: operator graph (batch={network.batch})"))
+        print()
+        print(handoff_table(handoff_summary(network)))
     return 0
 
 
@@ -280,11 +338,28 @@ def build_parser() -> argparse.ArgumentParser:
                              "ddr3-1600-2gb-x8)")
     p_char.set_defaults(func=cmd_characterize)
 
+    def add_workload_arguments(subparser: argparse.ArgumentParser
+                               ) -> None:
+        """``--model``/``--batch``/``--bytes-per-element`` trio.
+
+        Choices derive from the live workload registry, so
+        ``register_workload`` additions appear without touching the
+        CLI.
+        """
+        subparser.add_argument("--model", default="alexnet",
+                               choices=workload_names())
+        subparser.add_argument("--layer", default=None)
+        subparser.add_argument(
+            "--batch", type=int, default=1,
+            help="workload batch size B (default: 1)")
+        subparser.add_argument(
+            "--bytes-per-element", type=int, default=1,
+            help="datum size in bytes: 1=int8, 2=fp16, 4=fp32 "
+                 "(default: 1)")
+
     p_edp = subparsers.add_parser(
         "edp", help="per-mapping EDP for one layer")
-    p_edp.add_argument("--model", default="alexnet",
-                       choices=sorted(MODEL_REGISTRY))
-    p_edp.add_argument("--layer", default=None)
+    add_workload_arguments(p_edp)
     p_edp.add_argument("--arch", default="DDR3")
     p_edp.add_argument("--scheme", default="adaptive-reuse",
                        choices=[s.value for s in ALL_SCHEMES])
@@ -298,9 +373,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_dse = subparsers.add_parser(
         "dse", help="Algorithm 1: min-EDP design point per layer")
-    p_dse.add_argument("--model", default="alexnet",
-                       choices=sorted(MODEL_REGISTRY))
-    p_dse.add_argument("--layer", default=None)
+    add_workload_arguments(p_dse)
     p_dse.add_argument("--arch", default="DDR3")
     p_dse.add_argument(
         "--jobs", type=int, default=1,
@@ -317,16 +390,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_traffic = subparsers.add_parser(
         "traffic", help="DRAM traffic per scheduling scheme")
-    p_traffic.add_argument("--model", default="alexnet",
-                           choices=sorted(MODEL_REGISTRY))
-    p_traffic.add_argument("--layer", default=None)
+    add_workload_arguments(p_traffic)
     p_traffic.add_argument("--device", default=None,
                            help="device profile name: adds per-device "
                                 "burst counts")
     p_traffic.set_defaults(func=cmd_traffic)
 
     p_models = subparsers.add_parser(
-        "models", help="list registered models")
+        "models", help="list registered workloads")
+    p_models.add_argument(
+        "--detail", action="store_true",
+        help="print each workload's operator graph and feature-map "
+             "hand-off residency analysis")
+    p_models.add_argument(
+        "--model", default=None,
+        help="restrict the listing to one workload")
     p_models.set_defaults(func=cmd_models)
 
     p_devices = subparsers.add_parser(
@@ -351,6 +429,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ConfigurationError as error:
         print(f"repro: error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream consumer (head, a pager) closed the pipe; park
+        # stdout on devnull so the interpreter's shutdown flush does
+        # not print a second traceback, and exit with SIGPIPE's
+        # conventional status.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -4,8 +4,10 @@ from .layer import ConvLayer
 from .models import (
     MODEL_REGISTRY,
     alexnet,
+    bert_encoder,
     lenet5,
     mobilenet_v1,
+    mobilenet_v2,
     model_by_name,
     resnet18_convs,
     tiny_test_network,
@@ -53,6 +55,7 @@ __all__ = [
     "TABLE2_BUFFERS",
     "TilingConfig",
     "alexnet",
+    "bert_encoder",
     "best_concrete_scheme",
     "build_layout",
     "enumerate_tilings",
@@ -61,6 +64,7 @@ __all__ = [
     "lenet5",
     "loop_order",
     "mobilenet_v1",
+    "mobilenet_v2",
     "model_by_name",
     "resnet18_convs",
     "tiny_test_network",

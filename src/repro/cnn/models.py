@@ -1,197 +1,147 @@
-"""Network model zoo.
+"""Flat-list model zoo — compatibility shim over the graph IR.
 
-The paper evaluates AlexNet on ImageNet (Section IV); the exact layer
-geometry (including the historical two-group convolutions) is
-reproduced here.  VGG-16, LeNet-5 and a miniature test network are
-included so downstream users (and the ablation benchmarks) can run the
-DSE on other workloads.
+.. deprecated::
+    The model zoo lives in :mod:`repro.workloads.zoo` as graph
+    builders; this module lowers those graphs back to the historical
+    ``List[ConvLayer]`` shape for callers that predate the workload
+    IR.  The lowered lists are byte-identical to what these
+    constructors always returned (golden-pinned by
+    ``tests/workloads/test_lowering_golden.py``), but they drop graph
+    structure: residual skip edges, pooling nodes, and feature-map
+    hand-offs are only visible on the :class:`repro.workloads.Network`
+    objects.  New code should call
+    :func:`repro.workloads.get_workload` (or the builders in
+    :mod:`repro.workloads.zoo`) and use
+    :meth:`~repro.workloads.Network.lower` only at the boundary that
+    truly needs a flat list.
+
+Register additional workloads with
+:func:`repro.workloads.register_workload`; they become visible here
+(and in the CLI) automatically.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, List, Mapping
 
+# Submodule imports (not the package root) keep this module importable
+# while ``repro.workloads.__init__`` is itself mid-import.
+from ..workloads import registry
+from ..workloads import zoo
+from ..workloads.registry import get_workload
 from .layer import ConvLayer
 
 
 def alexnet(batch: int = 1, bytes_per_element: int = 1) -> List[ConvLayer]:
-    """AlexNet (Krizhevsky et al., NIPS 2012) for 227x227 ImageNet.
-
-    Layer shapes follow the original two-GPU implementation: CONV2,
-    CONV4 and CONV5 are grouped with ``groups=2``.  Pooling layers move
-    no DRAM weights and are folded into the inter-layer feature-map
-    shapes, as the paper's DRAM study does.
-    """
-    conv = ConvLayer.conv
-    fc = ConvLayer.fully_connected
-    kwargs = {"batch": batch, "bytes_per_element": bytes_per_element}
-    return [
-        conv("CONV1", (3, 227, 227), 96, kernel=11, stride=4, **kwargs),
-        conv("CONV2", (96, 27, 27), 256, kernel=5, padding=2, groups=2,
-             **kwargs),
-        conv("CONV3", (256, 13, 13), 384, kernel=3, padding=1, **kwargs),
-        conv("CONV4", (384, 13, 13), 384, kernel=3, padding=1, groups=2,
-             **kwargs),
-        conv("CONV5", (384, 13, 13), 256, kernel=3, padding=1, groups=2,
-             **kwargs),
-        fc("FC6", 256 * 6 * 6, 4096, **kwargs),
-        fc("FC7", 4096, 4096, **kwargs),
-        fc("FC8", 4096, 1000, **kwargs),
-    ]
+    """AlexNet, lowered from :func:`repro.workloads.zoo.alexnet`."""
+    return zoo.alexnet(batch=batch,
+                       bytes_per_element=bytes_per_element).lower()
 
 
 def vgg16(batch: int = 1, bytes_per_element: int = 1) -> List[ConvLayer]:
-    """VGG-16 (Simonyan & Zisserman) for 224x224 ImageNet."""
-    conv = ConvLayer.conv
-    fc = ConvLayer.fully_connected
-    kwargs = {"batch": batch, "bytes_per_element": bytes_per_element}
-    layers: List[ConvLayer] = []
-    shapes = [
-        # (name, in_shape, out_channels)
-        ("CONV1_1", (3, 224, 224), 64),
-        ("CONV1_2", (64, 224, 224), 64),
-        ("CONV2_1", (64, 112, 112), 128),
-        ("CONV2_2", (128, 112, 112), 128),
-        ("CONV3_1", (128, 56, 56), 256),
-        ("CONV3_2", (256, 56, 56), 256),
-        ("CONV3_3", (256, 56, 56), 256),
-        ("CONV4_1", (256, 28, 28), 512),
-        ("CONV4_2", (512, 28, 28), 512),
-        ("CONV4_3", (512, 28, 28), 512),
-        ("CONV5_1", (512, 14, 14), 512),
-        ("CONV5_2", (512, 14, 14), 512),
-        ("CONV5_3", (512, 14, 14), 512),
-    ]
-    for name, in_shape, out_channels in shapes:
-        layers.append(conv(name, in_shape, out_channels, kernel=3,
-                           padding=1, **kwargs))
-    layers.append(fc("FC6", 512 * 7 * 7, 4096, **kwargs))
-    layers.append(fc("FC7", 4096, 4096, **kwargs))
-    layers.append(fc("FC8", 4096, 1000, **kwargs))
-    return layers
+    """VGG-16, lowered from :func:`repro.workloads.zoo.vgg16`."""
+    return zoo.vgg16(batch=batch,
+                     bytes_per_element=bytes_per_element).lower()
 
 
 def lenet5(batch: int = 1, bytes_per_element: int = 1) -> List[ConvLayer]:
-    """LeNet-5 for 32x32 MNIST-style input (a small smoke workload)."""
-    conv = ConvLayer.conv
-    fc = ConvLayer.fully_connected
-    kwargs = {"batch": batch, "bytes_per_element": bytes_per_element}
-    return [
-        conv("C1", (1, 32, 32), 6, kernel=5, **kwargs),
-        conv("C3", (6, 14, 14), 16, kernel=5, **kwargs),
-        conv("C5", (16, 5, 5), 120, kernel=5, **kwargs),
-        fc("F6", 120, 84, **kwargs),
-        fc("OUTPUT", 84, 10, **kwargs),
-    ]
+    """LeNet-5, lowered from :func:`repro.workloads.zoo.lenet5`."""
+    return zoo.lenet5(batch=batch,
+                      bytes_per_element=bytes_per_element).lower()
 
 
 def resnet18_convs(batch: int = 1, bytes_per_element: int = 1
                    ) -> List[ConvLayer]:
-    """The convolutional backbone of ResNet-18 (224x224 input).
+    """ResNet-18's conv backbone, lowered from
+    :func:`repro.workloads.zoo.resnet18`.
 
-    Downsampling 1x1 projection shortcuts are included; the residual
-    adds themselves move no DRAM weights and are omitted, as are
-    batch-norm parameters (negligible next to conv weights).
+    The residual adds are traffic-only graph nodes and do not appear
+    here; use the graph to see them.
     """
-    conv = ConvLayer.conv
-    fc = ConvLayer.fully_connected
-    kwargs = {"batch": batch, "bytes_per_element": bytes_per_element}
-    layers: List[ConvLayer] = [
-        conv("CONV1", (3, 224, 224), 64, kernel=7, stride=2, padding=3,
-             **kwargs),
-    ]
-    stages = [
-        # (name, channels, spatial, first_stride)
-        ("LAYER1", 64, 56, 1),
-        ("LAYER2", 128, 28, 2),
-        ("LAYER3", 256, 14, 2),
-        ("LAYER4", 512, 7, 2),
-    ]
-    in_channels = 64
-    in_spatial = 56
-    for name, channels, spatial, first_stride in stages:
-        layers.append(conv(
-            f"{name}_B1_CONV1", (in_channels, in_spatial, in_spatial),
-            channels, kernel=3, stride=first_stride, padding=1, **kwargs))
-        layers.append(conv(
-            f"{name}_B1_CONV2", (channels, spatial, spatial),
-            channels, kernel=3, padding=1, **kwargs))
-        if first_stride != 1 or in_channels != channels:
-            layers.append(conv(
-                f"{name}_B1_PROJ", (in_channels, in_spatial, in_spatial),
-                channels, kernel=1, stride=first_stride, **kwargs))
-        layers.append(conv(
-            f"{name}_B2_CONV1", (channels, spatial, spatial),
-            channels, kernel=3, padding=1, **kwargs))
-        layers.append(conv(
-            f"{name}_B2_CONV2", (channels, spatial, spatial),
-            channels, kernel=3, padding=1, **kwargs))
-        in_channels = channels
-        in_spatial = spatial
-    layers.append(fc("FC", 512, 1000, **kwargs))
-    return layers
+    return zoo.resnet18(batch=batch,
+                        bytes_per_element=bytes_per_element).lower()
 
 
 def mobilenet_v1(batch: int = 1, bytes_per_element: int = 1
                  ) -> List[ConvLayer]:
-    """MobileNetV1 (224x224, width 1.0).
+    """MobileNetV1, lowered from
+    :func:`repro.workloads.zoo.mobilenet_v1`."""
+    return zoo.mobilenet_v1(batch=batch,
+                            bytes_per_element=bytes_per_element).lower()
 
-    Depthwise separable convolutions exercise the grouped-conv path in
-    its extreme form: the depthwise stage has ``groups == channels``.
-    """
-    conv = ConvLayer.conv
-    fc = ConvLayer.fully_connected
-    kwargs = {"batch": batch, "bytes_per_element": bytes_per_element}
-    layers: List[ConvLayer] = [
-        conv("CONV1", (3, 224, 224), 32, kernel=3, stride=2, padding=1,
-             **kwargs),
-    ]
-    # (in_channels, out_channels, spatial_in, stride) per separable block
-    blocks = [
-        (32, 64, 112, 1), (64, 128, 112, 2), (128, 128, 56, 1),
-        (128, 256, 56, 2), (256, 256, 28, 1), (256, 512, 28, 2),
-        (512, 512, 14, 1), (512, 512, 14, 1), (512, 512, 14, 1),
-        (512, 512, 14, 1), (512, 512, 14, 1), (512, 1024, 14, 2),
-        (1024, 1024, 7, 1),
-    ]
-    for index, (cin, cout, spatial, stride) in enumerate(blocks, start=1):
-        layers.append(conv(
-            f"DW{index}", (cin, spatial, spatial), cin, kernel=3,
-            stride=stride, padding=1, groups=cin, **kwargs))
-        out_spatial = spatial // stride
-        layers.append(conv(
-            f"PW{index}", (cin, out_spatial, out_spatial), cout,
-            kernel=1, **kwargs))
-    layers.append(fc("FC", 1024, 1000, **kwargs))
-    return layers
+
+def mobilenet_v2(batch: int = 1, bytes_per_element: int = 1
+                 ) -> List[ConvLayer]:
+    """MobileNetV2, lowered from
+    :func:`repro.workloads.zoo.mobilenet_v2` (skip edges dropped)."""
+    return zoo.mobilenet_v2(batch=batch,
+                            bytes_per_element=bytes_per_element).lower()
+
+
+def bert_encoder(batch: int = 1, bytes_per_element: int = 1, **kwargs
+                 ) -> List[ConvLayer]:
+    """A BERT-style encoder block's matmuls, lowered from
+    :func:`repro.workloads.zoo.bert_encoder`."""
+    return zoo.bert_encoder(batch=batch,
+                            bytes_per_element=bytes_per_element,
+                            **kwargs).lower()
 
 
 def tiny_test_network(bytes_per_element: int = 1) -> List[ConvLayer]:
     """A two-layer network small enough for trace-level simulation."""
-    conv = ConvLayer.conv
-    fc = ConvLayer.fully_connected
-    return [
-        conv("TINY_CONV", (4, 8, 8), 8, kernel=3, padding=1,
-             bytes_per_element=bytes_per_element),
-        fc("TINY_FC", 8 * 8 * 8, 16, bytes_per_element=bytes_per_element),
-    ]
+    return zoo.tiny(bytes_per_element=bytes_per_element).lower()
 
 
-#: Registry of model constructors by name.
-MODEL_REGISTRY = {
-    "alexnet": alexnet,
-    "vgg16": vgg16,
-    "lenet5": lenet5,
-    "resnet18": resnet18_convs,
-    "mobilenetv1": mobilenet_v1,
-    "tiny": tiny_test_network,
-}
+class _RegistryView(Mapping[str, Callable[..., List[ConvLayer]]]):
+    """Live read-only view of the workload registry as lowering
+    callables, preserving the historical ``MODEL_REGISTRY`` shape.
+
+    Deriving from :class:`collections.abc.Mapping` keeps every read
+    method (``get``, ``items``, ``len`` ...) consistent with the
+    overridden ``__getitem__``.  Writes are rejected loudly: register
+    new workloads through
+    :func:`repro.workloads.register_workload` instead.
+    """
+
+    def _lowering(self, name: str) -> Callable[..., List[ConvLayer]]:
+        def build(**kwargs) -> List[ConvLayer]:
+            return get_workload(name, **kwargs).lower()
+        build.__name__ = name
+        return build
+
+    def __getitem__(self, name: str) -> Callable[..., List[ConvLayer]]:
+        if name not in registry.WORKLOAD_REGISTRY:
+            raise KeyError(name)
+        return self._lowering(name)
+
+    def __iter__(self):
+        return iter(registry.workload_names())
+
+    def __len__(self) -> int:
+        return len(registry.WORKLOAD_REGISTRY)
+
+    def __setitem__(self, name: str, builder) -> None:
+        raise TypeError(
+            "MODEL_REGISTRY is a read-only view; add workloads with "
+            "repro.workloads.register_workload(name, builder) — the "
+            "builder returns a Network, and the entry appears here "
+            "automatically")
+
+
+#: Registry of model constructors by name (live view of
+#: :data:`repro.workloads.WORKLOAD_REGISTRY`; each entry lowers the
+#: graph to the legacy layer list).
+MODEL_REGISTRY = _RegistryView()
 
 
 def model_by_name(name: str, **kwargs) -> List[ConvLayer]:
-    """Instantiate a registered model by name."""
+    """Instantiate a registered model by name, as a lowered list.
+
+    .. deprecated:: prefer :func:`repro.workloads.get_workload`, which
+       returns the graph.
+    """
     if name not in MODEL_REGISTRY:
         raise KeyError(
             f"unknown model {name!r}; available: "
-            f"{sorted(MODEL_REGISTRY)}")
-    return MODEL_REGISTRY[name](**kwargs)
+            f"{registry.workload_names()}")
+    return get_workload(name, **kwargs).lower()

@@ -16,6 +16,11 @@ Execution is delegated to :mod:`repro.core.engine`: pass ``jobs`` /
 to shard the grid across worker processes.  Results are identical for
 every ``jobs`` value — points come back in the serial nested-loop
 order.
+
+Workloads can be given as flat layer lists (the paper's shape) or as
+:class:`repro.workloads.Network` graphs; graphs lower to the same
+7-dim loop nests, and :func:`explore_workload` additionally folds the
+record back onto the DAG (network EDP + hand-off analysis).
 """
 
 from __future__ import annotations
@@ -153,7 +158,7 @@ def explore_layer(
 
 
 def explore_network(
-    layers: Sequence[ConvLayer],
+    layers,
     jobs: int = 1,
     chunk_size: Optional[int] = None,
     engine=None,
@@ -161,12 +166,59 @@ def explore_network(
 ) -> DseResult:
     """Algorithm 1 over all layers of a network.
 
-    The whole ``layer x architecture x scheme x policy x tiling`` grid
-    is sharded as one unit, so with ``jobs > 1`` small layers do not
-    serialize behind large ones.
+    ``layers`` is either the historical ``Sequence[ConvLayer]`` or a
+    :class:`repro.workloads.Network`, which is lowered to its 7-dim
+    loop nests first (traffic-only graph ops contribute no design
+    points).  The whole ``layer x architecture x scheme x policy x
+    tiling`` grid is sharded as one unit, so with ``jobs > 1`` small
+    layers do not serialize behind large ones.
     """
     eng = _engine_for(jobs, chunk_size, engine)
     return eng.explore_network(layers, **kwargs)
+
+
+def explore_workload(
+    workload,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    engine=None,
+    architecture: Optional[DRAMArchitecture] = None,
+    scheme: Optional[ReuseScheme] = None,
+    **kwargs,
+):
+    """Graph-aware Algorithm 1: explore a workload, aggregate on the DAG.
+
+    ``workload`` is a :class:`repro.workloads.Network` or a registered
+    workload name (see :func:`repro.workloads.workload_names`).
+    Returns ``(network, result, summary)`` where ``summary`` is the
+    topological :class:`repro.workloads.NetworkDseSummary` — per-op
+    minimum-EDP points, the network EDP, and the feature-map hand-off
+    residency analysis.
+
+    ``architecture`` / ``scheme`` restrict both the explored grid and
+    the aggregation (pass them instead of ``architectures=`` /
+    ``schemes=`` when you want a single slice end to end).
+    """
+    from ..workloads import Network, get_workload, network_dse_summary
+
+    if not isinstance(workload, Network):
+        workload = get_workload(workload)
+    if architecture is not None:
+        if "architectures" in kwargs:
+            raise DseError(
+                "pass either architecture= or architectures=, not both")
+        kwargs["architectures"] = (architecture,)
+    if scheme is not None:
+        if "schemes" in kwargs:
+            raise DseError(
+                "pass either scheme= or schemes=, not both")
+        kwargs["schemes"] = (scheme,)
+    eng = _engine_for(jobs, chunk_size, engine)
+    result = eng.explore_network(workload, **kwargs)
+    summary = network_dse_summary(
+        workload, result, architecture=architecture, scheme=scheme,
+        buffers=kwargs.get("buffers", TABLE2_BUFFERS))
+    return workload, result, summary
 
 
 def best_mapping_per_layer(

@@ -95,6 +95,7 @@ from ..errors import DseError
 from ..mapping.catalog import TABLE1_MAPPINGS
 from ..mapping.counts import TransitionCounts, count_transitions
 from ..mapping.policy import MappingPolicy
+from ..workloads.network import Network, as_layers
 from .adaptive import resolve_adaptive
 from .dse import DsePoint, DseResult
 from .edp import layer_edp
@@ -201,6 +202,10 @@ class ExplorationContext:
     device: DeviceProfile
     characterizations: Dict[DRAMArchitecture, CharacterizationResult]
     offsets: Tuple[int, ...]  # layers[i].offset, precomputed for decode
+    #: Workload graph the layers were lowered from, when the caller
+    #: passed a :class:`repro.workloads.Network`; shipped to workers
+    #: with the rest of the context so provenance survives pickling.
+    workload: Optional[Network] = None
 
     @property
     def organization(self) -> DRAMOrganization:
@@ -235,7 +240,7 @@ class ExplorationContext:
 
 
 def _build_context(
-    layers: Sequence[ConvLayer],
+    layers,  # Sequence[ConvLayer] or Network
     architectures: Optional[Sequence[DRAMArchitecture]],
     schemes: Sequence[ReuseScheme],
     policies: Sequence[MappingPolicy],
@@ -252,7 +257,12 @@ def _build_context(
     the exact device deterministically from the pickled context alone.
     ``architectures=None`` selects the device's capability set; an
     explicit sequence must be within it.
+
+    ``layers`` may be a :class:`repro.workloads.Network`; it is
+    lowered to the 7-dim loop nests here and kept on the context.
     """
+    workload = layers if isinstance(layers, Network) else None
+    layers = as_layers(layers)
     profile = resolve_device(device, organization)
     if architectures is None:
         architectures = profile.supported_architectures
@@ -291,6 +301,7 @@ def _build_context(
         device=profile,
         characterizations=characterizations,
         offsets=tuple(grid.offset for grid in grids),
+        workload=workload,
     )
 
 
@@ -526,7 +537,7 @@ class ExplorationEngine:
 
     def explore_network(
         self,
-        layers: Sequence[ConvLayer],
+        layers,
         architectures: Optional[Sequence[DRAMArchitecture]] = None,
         schemes: Sequence[ReuseScheme] = ALL_SCHEMES,
         policies: Sequence[MappingPolicy] = TABLE1_MAPPINGS,
@@ -537,11 +548,14 @@ class ExplorationEngine:
     ) -> DseResult:
         """Algorithm 1 over all layers; full exploration record.
 
-        ``device`` selects the DRAM device profile (default: the
-        paper's Table-II device); every architecture in
-        ``architectures`` must be in its capability set.  The returned
-        points are in the serial nested-loop order regardless of
-        ``jobs``.
+        ``layers`` is a ``Sequence[ConvLayer]`` or a
+        :class:`repro.workloads.Network` — a network lowers to its
+        7-dim loop nests (traffic-only ops contribute no grid points)
+        and rides along in the pickled context.  ``device`` selects
+        the DRAM device profile (default: the paper's Table-II
+        device); every architecture in ``architectures`` must be in
+        its capability set.  The returned points are in the serial
+        nested-loop order regardless of ``jobs``.
         """
         context = _build_context(
             layers, architectures, schemes, policies, buffers,
@@ -557,7 +571,7 @@ class ExplorationEngine:
 
     def explore_reduced(
         self,
-        layers: Sequence[ConvLayer],
+        layers,
         architectures: Optional[Sequence[DRAMArchitecture]] = None,
         schemes: Sequence[ReuseScheme] = ALL_SCHEMES,
         policies: Sequence[MappingPolicy] = TABLE1_MAPPINGS,

@@ -101,6 +101,18 @@ def grouped_bar_chart(
     return "\n".join(lines)
 
 
+def network_edp_chart(summary, width: int = 40) -> str:
+    """Log-scale per-op EDP bars for a
+    :class:`repro.workloads.NetworkDseSummary` (ops in topological
+    order, the network total last)."""
+    values = {op_name: point.edp_js
+              for op_name, point in summary.per_op}
+    values["NETWORK"] = summary.total_edp_js
+    return bar_chart(
+        values, width=width, log_scale=True, unit=" J*s",
+        title=f"min-EDP per op of {summary.network_name}")
+
+
 def sparkline(values: Sequence[float]) -> str:
     """A one-line trend of ``values`` using block characters."""
     if not values:

@@ -60,6 +60,65 @@ def format_series(
     return f"{label}: " + "  ".join(parts)
 
 
+def handoff_table(summary, title: str = "") -> str:
+    """Tabulate a :class:`repro.workloads.HandoffSummary`.
+
+    One row per producer -> consumer(s) feature-map edge, flagging
+    skip (multi-consumer) edges and whether the tensor fits on chip.
+    """
+    from ..units import format_bytes
+
+    rows = []
+    for handoff in summary.handoffs:
+        rows.append([
+            handoff.tensor.name,
+            handoff.tensor.shape,
+            handoff.producer,
+            " + ".join(handoff.consumers),
+            format_bytes(handoff.tensor_bytes),
+            "on-chip" if handoff.on_chip_resident else "DRAM",
+            "skip" if handoff.is_skip_edge else "",
+        ])
+    table = format_table(
+        ["tensor", "shape", "producer", "consumers", "bytes",
+         "residency", "edge"],
+        rows,
+        title=title or (f"Feature-map hand-offs of "
+                        f"{summary.network_name}"))
+    saved = format_bytes(summary.saved_bytes)
+    total = format_bytes(summary.total_handoff_bytes)
+    return (f"{table}\n"
+            f"hand-off DRAM traffic {total}; on-chip-resident scenario "
+            f"elides {saved} "
+            f"({len(summary.on_chip_eligible)}/{len(summary.handoffs)} "
+            f"edges fit)")
+
+
+def network_edp_table(summary, title: str = "") -> str:
+    """Tabulate a :class:`repro.workloads.NetworkDseSummary`.
+
+    Per-op minimum-EDP rows in topological order plus the aggregated
+    network totals.
+    """
+    rows = []
+    for op_name, point in summary.per_op:
+        tiling = point.tiling
+        rows.append([
+            op_name,
+            point.policy.name,
+            point.result.resolved_scheme.value,
+            f"{tiling.th}/{tiling.tw}/{tiling.tj}/{tiling.ti}",
+            f"{point.edp_js:.3e}",
+        ])
+    rows.append(["NETWORK", "", "", "", f"{summary.total_edp_js:.3e}"])
+    return format_table(
+        ["op", "mapping", "schedule", "tiling Th/Tw/Tj/Ti",
+         "min EDP [J*s]"],
+        rows,
+        title=title or (f"Network EDP of {summary.network_name} "
+                        f"(topological aggregation)"))
+
+
 def series_table(
     series: Dict[str, List[float]],
     column_names: Sequence[str],

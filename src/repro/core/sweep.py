@@ -3,7 +3,9 @@
 The paper fixes one configuration (Table II); these utilities vary one
 parameter at a time — subarrays per bank, buffer capacity, batch size,
 data precision, DRAM speed grade — and report how the minimum EDP and
-DRMap's advantage respond.  They power the ablation benchmarks and
+DRMap's advantage respond.  :func:`sweep_network_batch` lifts the
+batch sweep to whole workload graphs from the
+:mod:`repro.workloads` registry.  They power the ablation benchmarks and
 give downstream users a one-call sensitivity analysis for their own
 design points.
 
@@ -203,6 +205,48 @@ def sweep_batch(
             worst_edp_js=_min_edp(
                 layer, MAPPING_2, architecture, profile,
                 TABLE2_BUFFERS, scheme),
+        ))
+    return points
+
+
+def sweep_network_batch(
+    workload,
+    batches: Sequence[int] = (1, 2, 4, 8),
+    architecture: DRAMArchitecture = DRAMArchitecture.DDR3,
+    scheme: ReuseScheme = ReuseScheme.ADAPTIVE_REUSE,
+    device: Optional[DeviceProfile] = None,
+    buffers: BufferConfig = TABLE2_BUFFERS,
+) -> List[SweepPoint]:
+    """Network EDP vs batch size over a whole workload graph.
+
+    ``workload`` is a registered workload name (see
+    :func:`repro.workloads.workload_names`) or a builder callable
+    accepting ``batch=``; each sweep value rebuilds the graph at that
+    batch, lowers it, and sums the per-layer minimum EDPs — the
+    network-level counterpart of :func:`sweep_batch`.
+    """
+    from ..workloads.registry import get_workload
+
+    profile = resolve_device(device)
+    points = []
+    for batch in batches:
+        if callable(workload):
+            network = workload(batch=batch)
+        else:
+            network = get_workload(workload, batch=batch)
+        drmap_total = 0.0
+        worst_total = 0.0
+        for layer in network.lower():
+            drmap_total += _min_edp(
+                layer, DRMAP, architecture, profile, buffers, scheme)
+            worst_total += _min_edp(
+                layer, MAPPING_2, architecture, profile, buffers,
+                scheme)
+        points.append(SweepPoint(
+            parameter=f"{network.name}:batch",
+            value=batch,
+            drmap_edp_js=drmap_total,
+            worst_edp_js=worst_total,
         ))
     return points
 

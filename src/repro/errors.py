@@ -51,3 +51,13 @@ class DseError(ReproError):
     Raised when no tiling satisfies the buffer constraints for a layer
     (Algorithm 1 line 9 never admits a point).
     """
+
+
+class WorkloadError(ConfigurationError):
+    """A workload graph is malformed.
+
+    Examples: an operator consuming an undeclared tensor, two operators
+    producing the same tensor, an element-wise op whose input shapes
+    disagree, or a matmul whose tensor volume does not factor into
+    ``tokens x features``.
+    """

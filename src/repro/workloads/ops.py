@@ -1,0 +1,518 @@
+"""Operator IR: graph nodes that lower to the paper's loop nest.
+
+A workload graph (:class:`repro.workloads.network.Network`) is built
+from *operators* connected by named feature-map tensors.  Every
+compute operator **lowers to the paper's 7-dim (B, H, W, J, I, P, Q)
+loop nest** — a :class:`repro.cnn.layer.ConvLayer` — so the existing
+tiling / traffic / EDP / characterization machinery runs unchanged
+underneath:
+
+===================  ==================================================
+Operator             Lowering rule
+===================  ==================================================
+:class:`ConvOp`      direct: (B, H, W, J, I, P, Q) with optional
+                     grouping, stride and padding.
+:class:`DepthwiseConvOp`
+                     grouped conv with ``groups == in_channels`` and
+                     ``J == I`` (the MobileNet depthwise stage).
+:class:`MatmulOp`    ``Y[T, N] = X[T, M] @ W[M, N]`` becomes a 1x1
+                     convolution on a 1x1 feature map with
+                     ``B = batch * T`` — exactly the existing
+                     fully-connected path (``T = 1`` reproduces
+                     :meth:`repro.cnn.layer.ConvLayer.fully_connected`
+                     byte for byte).  ``groups = heads`` models
+                     multi-head attention as a grouped matmul.
+:class:`PoolOp`      traffic-only: moves no weights and performs no
+                     MACs; it reshapes the feature map between
+                     producers and consumers (the paper folds pooling
+                     into the inter-layer shapes the same way).
+:class:`EltwiseOp`   traffic-only: residual adds and other
+                     element-wise merges; it is what a flat
+                     ``List[ConvLayer]`` cannot express.
+===================  ==================================================
+
+Traffic-only operators return ``None`` from :meth:`Operator.lower` and
+are skipped by the DSE grid; their DRAM cost surfaces through the
+network-level hand-off analysis
+(:mod:`repro.workloads.analysis`) instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..cnn.layer import ConvLayer
+from ..errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """A named feature-map tensor: one edge of the workload graph.
+
+    Spatial feature maps use ``channels x height x width``; token
+    activations (transformers) use ``channels = features``,
+    ``height = 1`` and ``width = tokens``, so the volume is the same
+    ``features x tokens`` matrix either way.
+    """
+
+    name: str
+    channels: int
+    height: int
+    width: int
+    bytes_per_element: int = 1
+
+    def __post_init__(self) -> None:
+        for field_name in ("channels", "height", "width",
+                           "bytes_per_element"):
+            value = getattr(self, field_name)
+            if not isinstance(value, int) or value <= 0:
+                raise WorkloadError(
+                    f"tensor {self.name!r}: {field_name} must be a "
+                    f"positive integer, got {value!r}")
+
+    @property
+    def elements(self) -> int:
+        """Elements per batch item."""
+        return self.channels * self.height * self.width
+
+    def bytes(self, batch: int = 1) -> int:
+        """DRAM-resident size for ``batch`` items."""
+        return batch * self.elements * self.bytes_per_element
+
+    @property
+    def shape(self) -> str:
+        """``CxHxW`` label for reports."""
+        return f"{self.channels}x{self.height}x{self.width}"
+
+
+class Operator:
+    """Base class for graph nodes.
+
+    Subclasses are frozen dataclasses; the base class only fixes the
+    protocol every node answers:
+
+    ``inputs`` / ``output``
+        Names of the consumed / produced tensors.
+    ``output_spec(input_specs)``
+        Shape inference: the produced :class:`TensorSpec`.
+    ``lower(input_specs, batch)``
+        The 7-dim loop nest as a :class:`ConvLayer`, or ``None`` for
+        traffic-only operators.
+    """
+
+    name: str
+
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        raise NotImplementedError
+
+    @property
+    def output(self) -> str:
+        raise NotImplementedError
+
+    @property
+    def kind(self) -> str:
+        """Short label for reports (``conv``, ``matmul``, ...)."""
+        return type(self).__name__.replace("Op", "").lower()
+
+    @property
+    def is_traffic_only(self) -> bool:
+        """True when the op never lowers to a loop nest."""
+        return False
+
+    def output_spec(self, input_specs: Tuple[TensorSpec, ...]
+                    ) -> TensorSpec:
+        raise NotImplementedError
+
+    def lower(self, input_specs: Tuple[TensorSpec, ...],
+              batch: int = 1) -> Optional[ConvLayer]:
+        raise NotImplementedError
+
+    def _sole_input(self, input_specs: Tuple[TensorSpec, ...]
+                    ) -> TensorSpec:
+        if len(input_specs) != 1:
+            raise WorkloadError(
+                f"{self.name}: expected exactly one input tensor, "
+                f"got {len(input_specs)}")
+        return input_specs[0]
+
+
+def _positive(op_name: str, **fields: int) -> None:
+    for field_name, value in fields.items():
+        if not isinstance(value, int) or value <= 0:
+            raise WorkloadError(
+                f"{op_name}: {field_name} must be a positive integer, "
+                f"got {value!r}")
+
+
+@dataclass(frozen=True)
+class ConvOp(Operator):
+    """2-D convolution (optionally grouped / strided / padded)."""
+
+    name: str
+    input: str
+    out: str
+    out_channels: int
+    kernel: int
+    stride: int = 1
+    padding: int = 0
+    groups: int = 1
+
+    def __post_init__(self) -> None:
+        _positive(self.name, out_channels=self.out_channels,
+                  kernel=self.kernel, stride=self.stride,
+                  groups=self.groups)
+        if not isinstance(self.padding, int) or self.padding < 0:
+            raise WorkloadError(
+                f"{self.name}: padding must be a non-negative integer, "
+                f"got {self.padding!r}")
+
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        return (self.input,)
+
+    @property
+    def output(self) -> str:
+        return self.out
+
+    def _out_spatial(self, size: int) -> int:
+        out = (size + 2 * self.padding - self.kernel) // self.stride + 1
+        if out <= 0:
+            raise WorkloadError(
+                f"{self.name}: kernel {self.kernel} does not fit the "
+                f"{size}-wide input (padding {self.padding})")
+        return out
+
+    def output_spec(self, input_specs: Tuple[TensorSpec, ...]
+                    ) -> TensorSpec:
+        ifm = self._sole_input(input_specs)
+        if ifm.channels % self.groups:
+            raise WorkloadError(
+                f"{self.name}: input channels ({ifm.channels}) must "
+                f"divide into groups ({self.groups})")
+        return TensorSpec(
+            name=self.out,
+            channels=self.out_channels,
+            height=self._out_spatial(ifm.height),
+            width=self._out_spatial(ifm.width),
+            bytes_per_element=ifm.bytes_per_element,
+        )
+
+    def lower(self, input_specs: Tuple[TensorSpec, ...],
+              batch: int = 1) -> ConvLayer:
+        ifm = self._sole_input(input_specs)
+        return ConvLayer.conv(
+            self.name,
+            (ifm.channels, ifm.height, ifm.width),
+            self.out_channels,
+            kernel=self.kernel,
+            stride=self.stride,
+            padding=self.padding,
+            groups=self.groups,
+            batch=batch,
+            bytes_per_element=ifm.bytes_per_element,
+        )
+
+
+@dataclass(frozen=True)
+class DepthwiseConvOp(Operator):
+    """Depthwise convolution: one kernel per channel.
+
+    Lowers to a grouped conv with ``groups == in_channels`` —
+    the extreme grouped-conv case the traffic model already scales
+    correctly (groups run back to back).
+    """
+
+    name: str
+    input: str
+    out: str
+    kernel: int
+    stride: int = 1
+    padding: int = 0
+    depth_multiplier: int = 1
+
+    def __post_init__(self) -> None:
+        _positive(self.name, kernel=self.kernel, stride=self.stride,
+                  depth_multiplier=self.depth_multiplier)
+        if not isinstance(self.padding, int) or self.padding < 0:
+            raise WorkloadError(
+                f"{self.name}: padding must be a non-negative integer, "
+                f"got {self.padding!r}")
+
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        return (self.input,)
+
+    @property
+    def output(self) -> str:
+        return self.out
+
+    @property
+    def kind(self) -> str:
+        return "dwconv"
+
+    def _conv(self, ifm: TensorSpec) -> ConvOp:
+        return ConvOp(
+            name=self.name,
+            input=self.input,
+            out=self.out,
+            out_channels=ifm.channels * self.depth_multiplier,
+            kernel=self.kernel,
+            stride=self.stride,
+            padding=self.padding,
+            groups=ifm.channels,
+        )
+
+    def output_spec(self, input_specs: Tuple[TensorSpec, ...]
+                    ) -> TensorSpec:
+        ifm = self._sole_input(input_specs)
+        return self._conv(ifm).output_spec(input_specs)
+
+    def lower(self, input_specs: Tuple[TensorSpec, ...],
+              batch: int = 1) -> ConvLayer:
+        ifm = self._sole_input(input_specs)
+        return self._conv(ifm).lower(input_specs, batch)
+
+
+@dataclass(frozen=True)
+class MatmulOp(Operator):
+    """Token-wise matmul ``Y[T, N] = X[T, M] @ W[M, N]``.
+
+    Lowers to the existing fully-connected path: a 1x1 convolution on
+    a 1x1 feature map whose batch is ``network batch x tokens``.  With
+    ``tokens == 1`` and ``groups == 1`` the lowered layer is field-for-
+    field identical to :meth:`repro.cnn.layer.ConvLayer.fully_connected`.
+
+    ``groups`` models multi-head attention: ``Q @ K^T`` over ``h``
+    heads is a grouped matmul with ``groups = h``, ``M = h x d_head``
+    and ``N = h x tokens`` — the weight operand is the K (or V)
+    activation matrix, whose volume the grouped-conv weight accounting
+    reproduces exactly.  Pass that activation tensor as
+    ``weight_input`` to keep the edge in the graph (static-parameter
+    matmuls leave it ``None``; parameters are op attributes, not
+    edges).
+    """
+
+    name: str
+    input: str
+    out: str
+    in_features: int
+    out_features: int
+    tokens: int = 1
+    groups: int = 1
+    weight_input: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        _positive(self.name, in_features=self.in_features,
+                  out_features=self.out_features, tokens=self.tokens,
+                  groups=self.groups)
+        if self.in_features % self.groups or \
+                self.out_features % self.groups:
+            raise WorkloadError(
+                f"{self.name}: in/out features "
+                f"({self.in_features}/{self.out_features}) must divide "
+                f"into groups ({self.groups})")
+        if self.weight_input == self.input:
+            raise WorkloadError(
+                f"{self.name}: weight_input must differ from input")
+
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        if self.weight_input is None:
+            return (self.input,)
+        return (self.input, self.weight_input)
+
+    @property
+    def output(self) -> str:
+        return self.out
+
+    def _activation_input(self, input_specs: Tuple[TensorSpec, ...]
+                          ) -> TensorSpec:
+        expected = 1 if self.weight_input is None else 2
+        if len(input_specs) != expected:
+            raise WorkloadError(
+                f"{self.name}: expected {expected} input tensor(s), "
+                f"got {len(input_specs)}")
+        return input_specs[0]
+
+    def output_spec(self, input_specs: Tuple[TensorSpec, ...]
+                    ) -> TensorSpec:
+        ifm = self._activation_input(input_specs)
+        if ifm.elements != self.in_features * self.tokens:
+            raise WorkloadError(
+                f"{self.name}: input tensor {ifm.name!r} has "
+                f"{ifm.elements} elements; expected in_features x "
+                f"tokens = {self.in_features} x {self.tokens} = "
+                f"{self.in_features * self.tokens}")
+        if self.weight_input is not None:
+            wgh = input_specs[1]
+            expected = (self.out_features
+                        * (self.in_features // self.groups))
+            if wgh.elements != expected:
+                raise WorkloadError(
+                    f"{self.name}: weight tensor {wgh.name!r} has "
+                    f"{wgh.elements} elements; expected out_features x "
+                    f"in_features/groups = {expected}")
+        return TensorSpec(
+            name=self.out,
+            channels=self.out_features,
+            height=1,
+            width=self.tokens,
+            bytes_per_element=ifm.bytes_per_element,
+        )
+
+    def lower(self, input_specs: Tuple[TensorSpec, ...],
+              batch: int = 1) -> ConvLayer:
+        ifm = self._activation_input(input_specs)
+        self.output_spec(input_specs)  # validate the volume factoring
+        return ConvLayer(
+            name=self.name,
+            out_height=1,
+            out_width=1,
+            out_channels=self.out_features,
+            in_channels=self.in_features,
+            kernel_height=1,
+            kernel_width=1,
+            stride=1,
+            in_height=1,
+            in_width=1,
+            groups=self.groups,
+            batch=batch * self.tokens,
+            bytes_per_element=ifm.bytes_per_element,
+        )
+
+
+@dataclass(frozen=True)
+class PoolOp(Operator):
+    """Pooling (max/avg): traffic-only feature-map reshaping.
+
+    Moves no weights and performs no MACs; the paper's DRAM study
+    folds pooling into the inter-layer feature-map shapes, and the
+    graph IR makes that folding explicit.
+    """
+
+    name: str
+    input: str
+    out: str
+    kernel: int
+    stride: Optional[int] = None
+    padding: int = 0
+    mode: str = "max"
+
+    def __post_init__(self) -> None:
+        _positive(self.name, kernel=self.kernel)
+        if self.stride is not None:
+            _positive(self.name, stride=self.stride)
+        if not isinstance(self.padding, int) or self.padding < 0:
+            raise WorkloadError(
+                f"{self.name}: padding must be a non-negative integer, "
+                f"got {self.padding!r}")
+        if self.mode not in ("max", "avg"):
+            raise WorkloadError(
+                f"{self.name}: mode must be 'max' or 'avg', "
+                f"got {self.mode!r}")
+
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        return (self.input,)
+
+    @property
+    def output(self) -> str:
+        return self.out
+
+    @property
+    def is_traffic_only(self) -> bool:
+        return True
+
+    @property
+    def _step(self) -> int:
+        return self.kernel if self.stride is None else self.stride
+
+    def output_spec(self, input_specs: Tuple[TensorSpec, ...]
+                    ) -> TensorSpec:
+        ifm = self._sole_input(input_specs)
+        out_h = (ifm.height + 2 * self.padding - self.kernel) \
+            // self._step + 1
+        out_w = (ifm.width + 2 * self.padding - self.kernel) \
+            // self._step + 1
+        if out_h <= 0 or out_w <= 0:
+            raise WorkloadError(
+                f"{self.name}: {self.kernel}x{self.kernel} window does "
+                f"not fit the {ifm.shape} input")
+        return TensorSpec(
+            name=self.out,
+            channels=ifm.channels,
+            height=out_h,
+            width=out_w,
+            bytes_per_element=ifm.bytes_per_element,
+        )
+
+    def lower(self, input_specs: Tuple[TensorSpec, ...],
+              batch: int = 1) -> None:
+        return None
+
+
+@dataclass(frozen=True)
+class EltwiseOp(Operator):
+    """Element-wise merge (residual add, mul, ...): traffic-only.
+
+    This is the node a flat ``List[ConvLayer]`` cannot express: it has
+    *two* producers, so the skip edge of a residual network survives in
+    the graph and the hand-off analysis sees both arms.
+    """
+
+    name: str
+    lhs: str
+    rhs: str
+    out: str
+    mode: str = "add"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("add", "mul"):
+            raise WorkloadError(
+                f"{self.name}: mode must be 'add' or 'mul', "
+                f"got {self.mode!r}")
+        if self.lhs == self.rhs:
+            raise WorkloadError(
+                f"{self.name}: lhs and rhs must be distinct tensors")
+
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        return (self.lhs, self.rhs)
+
+    @property
+    def output(self) -> str:
+        return self.out
+
+    @property
+    def is_traffic_only(self) -> bool:
+        return True
+
+    def output_spec(self, input_specs: Tuple[TensorSpec, ...]
+                    ) -> TensorSpec:
+        if len(input_specs) != 2:
+            raise WorkloadError(
+                f"{self.name}: expected two input tensors, "
+                f"got {len(input_specs)}")
+        lhs, rhs = input_specs
+        if (lhs.channels, lhs.height, lhs.width) \
+                != (rhs.channels, rhs.height, rhs.width):
+            raise WorkloadError(
+                f"{self.name}: shape mismatch {lhs.name}={lhs.shape} "
+                f"vs {rhs.name}={rhs.shape}")
+        if lhs.bytes_per_element != rhs.bytes_per_element:
+            raise WorkloadError(
+                f"{self.name}: bytes_per_element mismatch "
+                f"({lhs.bytes_per_element} vs {rhs.bytes_per_element})")
+        return TensorSpec(
+            name=self.out,
+            channels=lhs.channels,
+            height=lhs.height,
+            width=lhs.width,
+            bytes_per_element=lhs.bytes_per_element,
+        )
+
+    def lower(self, input_specs: Tuple[TensorSpec, ...],
+              batch: int = 1) -> None:
+        return None

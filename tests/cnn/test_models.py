@@ -86,7 +86,7 @@ class TestRegistry:
     def test_all_registered(self):
         assert set(MODEL_REGISTRY) == {
             "alexnet", "vgg16", "lenet5", "resnet18", "mobilenetv1",
-            "tiny"}
+            "mobilenetv2", "bert-encoder", "tiny"}
 
     def test_lookup_by_name(self):
         layers = model_by_name("alexnet")

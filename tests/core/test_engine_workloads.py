@@ -1,0 +1,62 @@
+"""Engine tests for workload-graph threading."""
+
+from repro.cnn.scheduling import ReuseScheme
+from repro.core.engine import ExplorationEngine, _build_context
+from repro.dram.architecture import DRAMArchitecture
+from repro.dram.characterize import DEFAULT_CHARACTERIZATION_CACHE
+from repro.mapping.catalog import TABLE1_MAPPINGS
+from repro.cnn.tiling import TABLE2_BUFFERS
+from repro.workloads import get_workload, zoo
+
+
+def _context_for(workload):
+    return _build_context(
+        workload, (DRAMArchitecture.DDR3,),
+        (ReuseScheme.ADAPTIVE_REUSE,), tuple(TABLE1_MAPPINGS),
+        TABLE2_BUFFERS, None, None, DEFAULT_CHARACTERIZATION_CACHE)
+
+
+class TestContextWorkload:
+    def test_network_rides_in_context(self):
+        net = zoo.tiny()
+        context = _context_for(net)
+        assert context.workload is net
+        assert [grid.layer.name for grid in context.layers] \
+            == ["TINY_CONV", "TINY_FC"]
+
+    def test_layer_list_leaves_workload_unset(self):
+        context = _context_for(zoo.tiny().lower())
+        assert context.workload is None
+
+    def test_context_with_network_pickles(self):
+        import pickle
+
+        context = _context_for(zoo.tiny())
+        clone = pickle.loads(pickle.dumps(context))
+        assert clone.workload.name == "tiny"
+        assert clone.total_points == context.total_points
+
+
+class TestEngineOnNetworks:
+    def test_network_equals_lowered_list(self):
+        net = get_workload("lenet5")
+        engine = ExplorationEngine(jobs=1)
+        from_graph = engine.explore_network(
+            net, architectures=(DRAMArchitecture.DDR3,))
+        from_list = engine.explore_network(
+            net.lower(), architectures=(DRAMArchitecture.DDR3,))
+        assert from_graph.points == from_list.points
+
+    def test_parallel_jobs_identical_on_network(self):
+        net = zoo.tiny()
+        serial = ExplorationEngine(jobs=1).explore_network(net)
+        sharded = ExplorationEngine(jobs=2, chunk_size=7) \
+            .explore_network(net)
+        assert sharded.points == serial.points
+
+    def test_reduced_exploration_accepts_network(self):
+        net = zoo.tiny()
+        reduced = ExplorationEngine(jobs=1).explore_reduced(net)
+        full = ExplorationEngine(jobs=1).explore_network(net)
+        assert reduced.total_points == len(full.points)
+        assert reduced.best().edp_js == full.best().edp_js

@@ -141,12 +141,113 @@ class TestTraffic:
         assert "bursts" in out
 
 
+class TestGraphWorkloads:
+    def test_dse_on_bert_encoder(self, capsys):
+        code, out = run_cli(capsys, "dse", "--model", "bert-encoder",
+                            "--layer", "ATTN_SCORES")
+        assert code == 0
+        assert "ATTN_SCORES" in out
+        assert "TOTAL" in out
+
+    def test_dse_on_mobilenetv2_layer(self, capsys):
+        code, out = run_cli(capsys, "dse", "--model", "mobilenetv2",
+                            "--layer", "B2_EXPAND")
+        assert code == 0
+        assert "B2_EXPAND" in out
+
+    def test_dse_on_resnet18_projection(self, capsys):
+        code, out = run_cli(capsys, "dse", "--model", "resnet18",
+                            "--layer", "LAYER2_B1_PROJ")
+        assert code == 0
+        assert "LAYER2_B1_PROJ" in out
+
+    def test_traffic_on_transformer(self, capsys):
+        code, out = run_cli(capsys, "traffic", "--model",
+                            "bert-encoder", "--layer", "FFN1")
+        assert code == 0
+        assert "FFN1" in out
+
+
+class TestBatchAndPrecision:
+    def test_batch_scales_traffic(self, capsys):
+        code, single = run_cli(capsys, "traffic", "--model", "lenet5",
+                               "--layer", "C1")
+        assert code == 0
+        code, batched = run_cli(capsys, "traffic", "--model", "lenet5",
+                                "--layer", "C1", "--batch", "4")
+        assert code == 0
+        assert single != batched
+
+    def test_bytes_per_element_scales_traffic(self, capsys):
+        code, int8 = run_cli(capsys, "traffic", "--model", "lenet5",
+                             "--layer", "C1")
+        assert code == 0
+        code, fp32 = run_cli(capsys, "traffic", "--model", "lenet5",
+                             "--layer", "C1",
+                             "--bytes-per-element", "4")
+        assert code == 0
+        assert int8 != fp32
+
+    def test_dse_accepts_batch(self, capsys):
+        code, out = run_cli(capsys, "dse", "--model", "lenet5",
+                            "--layer", "C1", "--batch", "2")
+        assert code == 0
+        assert "TOTAL" in out
+
+    def test_edp_accepts_precision(self, capsys):
+        code, out = run_cli(capsys, "edp", "--model", "lenet5",
+                            "--layer", "C1", "--mapping", "3",
+                            "--bytes-per-element", "2")
+        assert code == 0
+        assert "Mapping-3" in out
+
+    def test_default_batch_output_unchanged(self, capsys):
+        code, implicit = run_cli(capsys, "dse", "--model", "lenet5",
+                                 "--layer", "C1")
+        assert code == 0
+        code, explicit = run_cli(capsys, "dse", "--model", "lenet5",
+                                 "--layer", "C1", "--batch", "1",
+                                 "--bytes-per-element", "1")
+        assert code == 0
+        assert implicit == explicit
+
+    def test_non_positive_values_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["dse", "--model", "lenet5", "--batch", "0"])
+        with pytest.raises(SystemExit):
+            main(["traffic", "--model", "lenet5",
+                  "--bytes-per-element", "-1"])
+
+
 class TestModels:
     def test_lists_registry(self, capsys):
         code, out = run_cli(capsys, "models")
         assert code == 0
-        for name in ("alexnet", "vgg16", "lenet5", "tiny"):
+        for name in ("alexnet", "vgg16", "lenet5", "tiny",
+                     "mobilenetv2", "bert-encoder"):
             assert name in out
+        assert "skip edges" in out
+
+    def test_detail_shows_graph_and_handoffs(self, capsys):
+        code, out = run_cli(capsys, "models", "--detail",
+                            "--model", "resnet18")
+        assert code == 0
+        assert "operator graph" in out
+        assert "LAYER1_B1_ADD" in out            # residual add node
+        assert "Feature-map hand-offs" in out
+        assert "skip" in out                     # residual edge flag
+
+    def test_detail_single_model_filters(self, capsys):
+        code, out = run_cli(capsys, "models", "--detail",
+                            "--model", "lenet5")
+        assert code == 0
+        assert "lenet5" in out
+        assert "alexnet" not in out
+
+    def test_unknown_model_exits_2(self, capsys):
+        code = main(["models", "--model", "resnet-9000"])
+        assert code == 2
+        assert "resnet-9000" in capsys.readouterr().err
 
 
 class TestDevices:

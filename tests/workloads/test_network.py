@@ -1,0 +1,150 @@
+"""Tests for the Network DAG: construction, topology, lowering."""
+
+import pickle
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    ConvOp,
+    EltwiseOp,
+    MatmulOp,
+    Network,
+    PoolOp,
+    TensorSpec,
+    as_layers,
+    chain,
+)
+
+
+def residual_toy(batch=1):
+    """input -> CONV1 -> CONV2 -> ADD(conv2, conv1) -> FC."""
+    net = Network("toy", batch=batch)
+    net.add_input("x", 8, 8, 8)
+    net.add(ConvOp("CONV1", "x", "a", 8, kernel=3, padding=1))
+    net.add(ConvOp("CONV2", "a", "b", 8, kernel=3, padding=1))
+    net.add(EltwiseOp("ADD", "b", "a", "c"))
+    net.add(PoolOp("GAP", "c", "p", kernel=8, mode="avg"))
+    net.add(MatmulOp("FC", "p", "y", 8, 4))
+    return net
+
+
+class TestConstruction:
+    def test_add_returns_output_spec(self):
+        net = Network("n")
+        net.add_input("x", 4, 8, 8)
+        out = net.add(ConvOp("C", "x", "y", 8, kernel=3, padding=1))
+        assert out == net.tensor("y")
+        assert (out.channels, out.height, out.width) == (8, 8, 8)
+
+    def test_unknown_input_tensor_rejected(self):
+        net = Network("n")
+        net.add_input("x", 4, 8, 8)
+        with pytest.raises(WorkloadError, match="unknown tensor"):
+            net.add(ConvOp("C", "nope", "y", 8, kernel=3))
+
+    def test_duplicate_tensor_rejected(self):
+        net = Network("n")
+        net.add_input("x", 4, 8, 8)
+        net.add(ConvOp("C1", "x", "y", 8, kernel=3, padding=1))
+        with pytest.raises(WorkloadError, match="already has a producer"):
+            net.add(ConvOp("C2", "x", "y", 8, kernel=3, padding=1))
+
+    def test_duplicate_op_name_rejected(self):
+        net = Network("n")
+        net.add_input("x", 4, 8, 8)
+        net.add(ConvOp("C", "x", "y", 8, kernel=3, padding=1))
+        with pytest.raises(WorkloadError, match="duplicate operator"):
+            net.add(ConvOp("C", "y", "z", 8, kernel=3, padding=1))
+
+    def test_bad_batch_rejected(self):
+        with pytest.raises(WorkloadError):
+            Network("n", batch=0)
+
+    def test_batch_is_read_only(self):
+        # lower() memoizes; a mutable batch would silently stale it.
+        net = residual_toy(batch=2)
+        assert net.lower()[0].batch == 2
+        with pytest.raises(AttributeError):
+            net.batch = 8
+
+
+class TestTopology:
+    def test_producers_and_consumers(self):
+        net = residual_toy()
+        assert net.producer_of("a") == "CONV1"
+        assert net.producer_of("x") is None
+        assert net.consumers_of("a") == ("CONV2", "ADD")
+        assert net.consumers_of("y") == ()
+
+    def test_output_tensors(self):
+        net = residual_toy()
+        assert [t.name for t in net.output_tensors] == ["y"]
+
+    def test_topological_order_matches_insertion(self):
+        net = residual_toy()
+        assert net.topological_order() == net.ops
+
+    def test_op_lookup(self):
+        net = residual_toy()
+        assert net.op("ADD").inputs == ("b", "a")
+        with pytest.raises(WorkloadError, match="unknown operator"):
+            net.op("NOPE")
+
+
+class TestLowering:
+    def test_traffic_only_ops_are_skipped(self):
+        net = residual_toy()
+        assert [l.name for l in net.lower()] == ["CONV1", "CONV2", "FC"]
+
+    def test_batch_threaded_into_loop_nests(self):
+        net = residual_toy(batch=4)
+        assert all(layer.batch == 4 for layer in net.lower())
+
+    def test_lowered_layer_by_name(self):
+        net = residual_toy()
+        assert net.lowered_layer("CONV1").out_channels == 8
+        with pytest.raises(WorkloadError, match="traffic-only"):
+            net.lowered_layer("ADD")
+
+    def test_compute_ops(self):
+        net = residual_toy()
+        assert [op.name for op in net.compute_ops] \
+            == ["CONV1", "CONV2", "FC"]
+
+    def test_weight_bytes_and_macs_aggregate(self):
+        net = residual_toy()
+        layers = net.lower()
+        assert net.weight_bytes == sum(l.wghs_bytes for l in layers)
+        assert net.macs == sum(l.macs for l in layers)
+
+
+class TestCoercion:
+    def test_as_layers_lowers_networks(self):
+        net = residual_toy()
+        assert as_layers(net) == net.lower()
+
+    def test_as_layers_passes_through_sequences(self):
+        net = residual_toy()
+        layers = net.lower()
+        assert as_layers(layers) == layers
+        assert as_layers(layers[0]) == [layers[0]]
+
+    def test_chain_builder(self):
+        net = chain(
+            "c",
+            TensorSpec("x", 4, 8, 8),
+            [ConvOp("C1", "x", "a", 8, kernel=3, padding=1),
+             ConvOp("C2", "a", "b", 8, kernel=3, padding=1)],
+        )
+        assert [l.name for l in net.lower()] == ["C1", "C2"]
+
+
+class TestPickling:
+    def test_network_round_trips_through_pickle(self):
+        net = residual_toy(batch=2)
+        clone = pickle.loads(pickle.dumps(net))
+        assert clone.name == net.name
+        assert clone.batch == net.batch
+        assert clone.lower() == net.lower()
+        assert clone.consumers_of("a") == net.consumers_of("a")

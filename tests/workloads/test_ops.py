@@ -1,0 +1,173 @@
+"""Tests for the operator IR: shape inference and lowering rules."""
+
+import pytest
+
+from repro.cnn.layer import ConvLayer
+from repro.errors import WorkloadError
+from repro.workloads.ops import (
+    ConvOp,
+    DepthwiseConvOp,
+    EltwiseOp,
+    MatmulOp,
+    PoolOp,
+    TensorSpec,
+)
+
+
+def spec(name="x", channels=8, height=16, width=16, bpe=1):
+    return TensorSpec(name=name, channels=channels, height=height,
+                      width=width, bytes_per_element=bpe)
+
+
+class TestTensorSpec:
+    def test_volume_and_bytes(self):
+        t = spec(channels=3, height=4, width=5, bpe=2)
+        assert t.elements == 60
+        assert t.bytes() == 120
+        assert t.bytes(batch=4) == 480
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(WorkloadError):
+            spec(channels=0)
+        with pytest.raises(WorkloadError):
+            spec(height=-1)
+
+    def test_shape_label(self):
+        assert spec(channels=3, height=4, width=5).shape == "3x4x5"
+
+
+class TestConvOp:
+    def test_output_spec(self):
+        op = ConvOp("C", "x", "y", out_channels=16, kernel=3,
+                    stride=2, padding=1)
+        out = op.output_spec((spec(height=16, width=16),))
+        assert (out.channels, out.height, out.width) == (16, 8, 8)
+        assert out.name == "y"
+
+    def test_lowering_matches_convlayer_conv(self):
+        op = ConvOp("C", "x", "y", out_channels=16, kernel=3,
+                    stride=2, padding=1, groups=2)
+        lowered = op.lower((spec(bpe=2),), batch=4)
+        expected = ConvLayer.conv(
+            "C", (8, 16, 16), 16, kernel=3, stride=2, padding=1,
+            groups=2, batch=4, bytes_per_element=2)
+        assert lowered == expected
+
+    def test_group_mismatch_rejected(self):
+        op = ConvOp("C", "x", "y", out_channels=16, kernel=3, groups=3)
+        with pytest.raises(WorkloadError):
+            op.output_spec((spec(channels=8),))
+
+    def test_kernel_too_large_rejected(self):
+        op = ConvOp("C", "x", "y", out_channels=4, kernel=5)
+        with pytest.raises(WorkloadError):
+            op.output_spec((spec(height=3, width=3),))
+
+
+class TestDepthwiseConvOp:
+    def test_lowers_to_fully_grouped_conv(self):
+        op = DepthwiseConvOp("DW", "x", "y", kernel=3, stride=2,
+                             padding=1)
+        lowered = op.lower((spec(channels=32, height=14, width=14),),
+                           batch=2)
+        expected = ConvLayer.conv(
+            "DW", (32, 14, 14), 32, kernel=3, stride=2, padding=1,
+            groups=32, batch=2)
+        assert lowered == expected
+        assert lowered.groups == lowered.in_channels
+
+    def test_depth_multiplier(self):
+        op = DepthwiseConvOp("DW", "x", "y", kernel=3,
+                             depth_multiplier=2)
+        out = op.output_spec((spec(channels=8, height=5, width=5),))
+        assert out.channels == 16
+
+
+class TestMatmulOp:
+    def test_volume_factoring_enforced(self):
+        op = MatmulOp("M", "x", "y", in_features=100, out_features=10)
+        with pytest.raises(WorkloadError):
+            op.output_spec((spec(channels=8, height=16, width=16),))
+
+    def test_token_batch_folding(self):
+        op = MatmulOp("M", "x", "y", in_features=64, out_features=32,
+                      tokens=7)
+        lowered = op.lower(
+            (TensorSpec("x", channels=64, height=1, width=7),), batch=3)
+        assert lowered.batch == 21
+        assert lowered.in_channels == 64
+        assert lowered.out_channels == 32
+        assert lowered.is_fully_connected
+
+    def test_grouped_attention_weight_operand(self):
+        # Q @ K^T over 4 heads of d_head=8, seq=16.
+        q = TensorSpec("q", channels=32, height=1, width=16)
+        k = TensorSpec("k", channels=32, height=1, width=16)
+        op = MatmulOp("S", "q", "s", in_features=32,
+                      out_features=4 * 16, tokens=16, groups=4,
+                      weight_input="k")
+        assert op.inputs == ("q", "k")
+        lowered = op.lower((q, k), batch=1)
+        # Lowered weight volume equals the K activation matrix.
+        assert lowered.wghs_bytes == k.bytes()
+
+    def test_weight_operand_volume_enforced(self):
+        q = TensorSpec("q", channels=32, height=1, width=16)
+        bad_k = TensorSpec("k", channels=32, height=1, width=15)
+        op = MatmulOp("S", "q", "s", in_features=32,
+                      out_features=4 * 16, tokens=16, groups=4,
+                      weight_input="k")
+        with pytest.raises(WorkloadError):
+            op.output_spec((q, bad_k))
+
+    def test_features_must_divide_groups(self):
+        with pytest.raises(WorkloadError):
+            MatmulOp("M", "x", "y", in_features=10, out_features=8,
+                     groups=4)
+
+
+class TestPoolOp:
+    def test_output_spec(self):
+        op = PoolOp("P", "x", "y", kernel=3, stride=2)
+        out = op.output_spec((spec(height=55, width=55),))
+        assert (out.height, out.width) == (27, 27)
+        assert out.channels == 8
+
+    def test_padding(self):
+        op = PoolOp("P", "x", "y", kernel=3, stride=2, padding=1)
+        out = op.output_spec((spec(height=112, width=112),))
+        assert (out.height, out.width) == (56, 56)
+
+    def test_stride_defaults_to_kernel(self):
+        op = PoolOp("P", "x", "y", kernel=2, mode="avg")
+        out = op.output_spec((spec(height=8, width=8),))
+        assert (out.height, out.width) == (4, 4)
+
+    def test_traffic_only(self):
+        op = PoolOp("P", "x", "y", kernel=2)
+        assert op.is_traffic_only
+        assert op.lower((spec(),)) is None
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(WorkloadError):
+            PoolOp("P", "x", "y", kernel=2, mode="median")
+
+
+class TestEltwiseOp:
+    def test_shape_agreement_enforced(self):
+        op = EltwiseOp("A", "x", "y", "z")
+        with pytest.raises(WorkloadError):
+            op.output_spec((spec(name="x"), spec(name="y", height=8)))
+
+    def test_output_spec(self):
+        op = EltwiseOp("A", "x", "y", "z")
+        out = op.output_spec((spec(name="x"), spec(name="y")))
+        assert (out.channels, out.height, out.width) == (8, 16, 16)
+        assert out.name == "z"
+
+    def test_traffic_only_and_distinct_arms(self):
+        op = EltwiseOp("A", "x", "y", "z")
+        assert op.is_traffic_only
+        assert op.lower((spec(name="x"), spec(name="y"))) is None
+        with pytest.raises(WorkloadError):
+            EltwiseOp("A", "x", "x", "z")

@@ -1,0 +1,131 @@
+"""Tests for the graph model zoo (geometry is load-bearing)."""
+
+import pytest
+
+from repro.workloads import handoff_summary, zoo
+
+
+class TestChainModels:
+    """The chain models must lower to the historical layer lists."""
+
+    def test_alexnet_lowered_names(self):
+        assert [l.name for l in zoo.alexnet().lower()] == [
+            "CONV1", "CONV2", "CONV3", "CONV4", "CONV5",
+            "FC6", "FC7", "FC8"]
+
+    def test_alexnet_pooling_is_explicit(self):
+        net = zoo.alexnet()
+        assert [op.name for op in net.ops if op.is_traffic_only] \
+            == ["POOL1", "POOL2", "POOL5"]
+        # CONV2 consumes the pooled 27x27 map, exactly as the flat
+        # list hard-coded it.
+        assert net.tensor("p1").shape == "96x27x27"
+
+    def test_vgg16_lowered_geometry(self):
+        layers = zoo.vgg16().lower()
+        assert len(layers) == 16
+        assert layers[0].name == "CONV1_1"
+        assert layers[-3].in_channels == 512 * 7 * 7  # FC6
+        assert layers[-1].out_channels == 1000
+
+    def test_lenet5_average_pools(self):
+        net = zoo.lenet5()
+        pools = [op for op in net.ops if op.is_traffic_only]
+        assert [p.mode for p in pools] == ["avg", "avg"]
+        assert [l.name for l in net.lower()] == [
+            "C1", "C3", "C5", "F6", "OUTPUT"]
+
+
+class TestResNet18:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return zoo.resnet18()
+
+    def test_twentyone_loop_nests(self, net):
+        # 1 stem + 16 block convs + 3 projections + 1 FC.
+        assert len(net.lower()) == 21
+
+    def test_residual_adds_present(self, net):
+        adds = [op for op in net.ops if op.kind == "eltwise"]
+        assert len(adds) == 8  # two basic blocks per stage, four stages
+
+    def test_identity_skip_reuses_block_input(self, net):
+        # LAYER1_B1 has no projection: its add consumes the pooled
+        # stem output directly.
+        add = net.op("LAYER1_B1_ADD")
+        assert "p1" in add.inputs
+
+    def test_projection_skips_on_downsampling_stages(self, net):
+        proj_names = [op.name for op in net.ops
+                      if op.name.endswith("_PROJ")]
+        assert proj_names == [
+            "LAYER2_B1_PROJ", "LAYER3_B1_PROJ", "LAYER4_B1_PROJ"]
+
+    def test_skip_edges_survive_in_handoffs(self, net):
+        assert len(handoff_summary(net).skip_edges) == 8
+
+
+class TestMobileNets:
+    def test_v1_depthwise_fully_grouped(self):
+        layers = zoo.mobilenet_v1().lower()
+        dw = [l for l in layers if l.name.startswith("DW")]
+        assert len(dw) == 13
+        assert all(l.groups == l.in_channels for l in dw)
+
+    def test_v2_inverted_residual_structure(self):
+        net = zoo.mobilenet_v2()
+        # 17 bottleneck blocks; stride-1 width-preserving ones get
+        # skip edges.
+        adds = [op for op in net.ops if op.kind == "eltwise"]
+        assert len(adds) == 10
+        assert len(handoff_summary(net).skip_edges) == 10
+        # The first block has expansion t=1: no EXPAND op.
+        assert "B1_EXPAND" not in [op.name for op in net.ops]
+        assert net.op("B2_EXPAND").out_channels == 16 * 6
+
+    def test_v2_lowers_end_to_end(self):
+        layers = zoo.mobilenet_v2().lower()
+        assert layers[0].name == "CONV1"
+        assert layers[-2].name == "CONV_LAST"
+        assert layers[-1].name == "FC"
+        assert layers[-1].in_channels == 1280
+
+
+class TestBertEncoder:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return zoo.bert_encoder()
+
+    def test_eight_matmuls_lower(self, net):
+        assert [l.name for l in net.lower()] == [
+            "Q_PROJ", "K_PROJ", "V_PROJ", "ATTN_SCORES",
+            "ATTN_CONTEXT", "ATTN_OUT", "FFN1", "FFN2"]
+
+    def test_tokens_fold_into_batch(self, net):
+        assert all(layer.batch == 128 for layer in net.lower())
+
+    def test_attention_weight_operands_are_graph_edges(self, net):
+        assert net.op("ATTN_SCORES").inputs == ("q", "k")
+        assert net.op("ATTN_CONTEXT").inputs == ("scores", "v")
+
+    def test_attention_weight_volume_is_activation_matrix(self, net):
+        scores = net.lowered_layer("ATTN_SCORES")
+        assert scores.wghs_bytes == net.tensor("k").bytes()
+        context = net.lowered_layer("ATTN_CONTEXT")
+        assert context.wghs_bytes == net.tensor("v").bytes()
+
+    def test_residual_adds(self, net):
+        assert net.op("ATTN_ADD").inputs == ("attn", "tokens")
+        assert net.op("FFN_ADD").inputs == ("ffn2", "attn_res")
+
+    def test_parameterization(self):
+        small = zoo.bert_encoder(seq_len=8, hidden=64, heads=4,
+                                 ffn_hidden=128)
+        layers = small.lower()
+        assert all(layer.batch == 8 for layer in layers)
+        ffn1 = small.lowered_layer("FFN1")
+        assert (ffn1.in_channels, ffn1.out_channels) == (64, 128)
+
+    def test_hidden_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            zoo.bert_encoder(hidden=100, heads=12)
