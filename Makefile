@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-devices bench-workloads lint
+.PHONY: test bench bench-devices bench-workloads bench-policies cov lint
 
 ## tier-1 verification: the full unit/property/integration/benchmark suite
 test:
@@ -18,6 +18,17 @@ bench-devices:
 ## graph-IR lowering overhead gate (<5% vs the direct layer-list DSE)
 bench-workloads:
 	$(PYTHON) -m pytest benchmarks/test_perf_workloads.py -q
+
+## controller-policy indirection overhead gate (<5% on the AlexNet
+## DDR3 characterize+DSE path and the raw controller loop)
+bench-policies:
+	$(PYTHON) -m pytest benchmarks/test_perf_policies.py -q
+
+## line-coverage floor for the cycle-level DRAM model (requires
+## pytest-cov; CI installs it)
+cov:
+	$(PYTHON) -m pytest tests/dram -q --cov=repro.dram \
+		--cov-report=term-missing --cov-fail-under=85
 
 ## byte-compile everything and make sure the test suite collects cleanly
 lint:

@@ -1,0 +1,137 @@
+"""Policy-indirection overhead gate: pluggability must be (almost) free.
+
+The controller-policy refactor routes every request through a
+scheduler object and a row-buffer policy object instead of hard-coded
+FCFS/open-row behaviour.  Two gates hold that indirection under 5%:
+
+* at the controller level, ``run()`` under the default config against
+  the pre-refactor service loop (calling ``_service`` per request
+  directly — exactly what the old ``run()`` body did), at identical
+  command traces;
+* at the pipeline level, the AlexNet DDR3 characterize+DSE path with
+  the controller config threaded explicitly end to end against the
+  default-argument path, at identical exploration records.
+
+Run via ``make bench-policies``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.engine import ExplorationEngine
+from repro.core.report import format_table
+from repro.dram.architecture import DRAMArchitecture
+from repro.dram.characterize import CharacterizationCache
+from repro.dram.controller import MemoryController
+from repro.dram.device import get_device
+from repro.dram.policies import (
+    DEFAULT_CONTROLLER_CONFIG,
+    controller_config,
+)
+from repro.dram.simulator import DRAMSimulator
+
+
+def _interleaved_best_of(runs: int, func_a, func_b):
+    """Best-of timings with A/B runs interleaved.
+
+    Alternating the contenders decorrelates the comparison from slow
+    machine-load drift (e.g. a parallel test process spinning up
+    mid-measurement), which a sequential best-of cannot.
+    """
+    best_a = best_b = float("inf")
+    for _ in range(runs):
+        start = time.perf_counter()
+        func_a()
+        best_a = min(best_a, time.perf_counter() - start)
+        start = time.perf_counter()
+        func_b()
+        best_b = min(best_b, time.perf_counter() - start)
+    return best_a, best_b
+
+
+def test_controller_dispatch_within_5_percent():
+    """Default-config run() vs the raw pre-refactor service loop."""
+    device = get_device("ddr3-1600-2gb-x8")
+    simulator = DRAMSimulator.from_profile(device)
+    stream = (simulator.round_robin_subarray_reads(bank=0, count=4000)
+              + simulator.sequential_reads(0, 0, 0, count=4000))
+
+    def policy_path():
+        controller = MemoryController(
+            device.organization, device.timings)
+        return controller.run(stream)
+
+    def raw_path():
+        controller = MemoryController(
+            device.organization, device.timings)
+        for request in stream:  # the pre-refactor run() body
+            controller._service(request)
+        return controller
+
+    # Identical schedules first, then the stopwatch.
+    assert policy_path().commands == raw_path()._commands
+
+    raw_seconds, policy_seconds = _interleaved_best_of(
+        5, raw_path, policy_path)
+
+    print()
+    print(format_table(
+        ["path", "best of 5 [s]"],
+        [["raw service loop", f"{raw_seconds:.4f}"],
+         ["policy dispatch", f"{policy_seconds:.4f}"]],
+        title="Controller dispatch overhead (8000-request stream)"))
+    overhead = policy_seconds / raw_seconds - 1.0
+    print(f"policy-dispatch overhead: {overhead * 100:+.2f}%")
+    assert policy_seconds < raw_seconds * 1.05, (
+        f"policy dispatch {policy_seconds:.4f}s exceeds 105% of the "
+        f"raw loop {raw_seconds:.4f}s")
+
+
+def test_characterize_dse_path_within_5_percent(alexnet_layers):
+    """AlexNet DDR3 characterize+DSE: explicit config vs defaults."""
+    device = get_device("ddr3-1600-2gb-x8")
+
+    def pipeline(controller):
+        # A private cache per run so each contender pays the full
+        # characterize cost, exactly like a cold process would.
+        cache = CharacterizationCache()
+        engine = ExplorationEngine(characterization_cache=cache)
+        return engine.explore_network(
+            alexnet_layers,
+            architectures=(DRAMArchitecture.DDR3,),
+            device=device,
+            controller=controller)
+
+    default_result = pipeline(None)
+    explicit_result = pipeline(DEFAULT_CONTROLLER_CONFIG)
+    assert explicit_result.points == default_result.points
+
+    default_seconds, explicit_seconds = _interleaved_best_of(
+        4, lambda: pipeline(None),
+        lambda: pipeline(DEFAULT_CONTROLLER_CONFIG))
+
+    print()
+    print(format_table(
+        ["path", "best of 4 [s]", "points"],
+        [["default arguments", f"{default_seconds:.3f}",
+          str(len(default_result.points))],
+         ["explicit ControllerConfig", f"{explicit_seconds:.3f}",
+          str(len(explicit_result.points))]],
+        title="AlexNet DDR3 characterize+DSE: config threading"))
+    overhead = explicit_seconds / default_seconds - 1.0
+    print(f"config-threading overhead: {overhead * 100:+.2f}%")
+    assert explicit_seconds < default_seconds * 1.05, (
+        f"explicit-config path {explicit_seconds:.3f}s exceeds 105% "
+        f"of the default path {default_seconds:.3f}s")
+
+
+def test_fr_fcfs_characterization_cost_bounded(benchmark):
+    """A non-default policy must characterize in the same ballpark:
+    the window bookkeeping may not blow up the micro-experiments."""
+    from repro.dram.characterize import characterize
+
+    config = controller_config("fr-fcfs", "closed")
+    result = benchmark(
+        characterize, DRAMArchitecture.DDR3, controller=config)
+    assert result.controller == config

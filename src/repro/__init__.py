@@ -56,6 +56,13 @@ from .dram.device import (
     get_device,
     register_device,
 )
+from .dram.policies import (
+    DEFAULT_CONTROLLER_CONFIG,
+    ControllerConfig,
+    controller_config,
+    row_policy_names,
+    scheduler_names,
+)
 from .errors import (
     CapacityError,
     ConfigurationError,
@@ -90,23 +97,26 @@ def quick_layer_edp(
     scheme: ReuseScheme = ReuseScheme.ADAPTIVE_REUSE,
     tiling: TilingConfig = None,
     device: DeviceProfile = None,
+    controller: ControllerConfig = None,
 ) -> LayerEDP:
     """One-call EDP estimate for a layer with sensible defaults.
 
     Uses the Table-II buffers and, unless a tiling is given, the
     buffer-maximal tiling with the lowest EDP.  ``device`` selects a
-    DRAM device profile (default: the paper's Table-II device).
+    DRAM device profile (default: the paper's Table-II device);
+    ``controller`` a memory-controller configuration (default: the
+    paper's FCFS/open-row Table-II controller).
     """
     from .cnn.tiling import enumerate_tilings
     from .core.edp import layer_edp
 
     if tiling is not None:
         return layer_edp(layer, tiling, scheme, policy, architecture,
-                         device=device)
+                         device=device, controller=controller)
     best = None
     for candidate in enumerate_tilings(layer):
         result = layer_edp(layer, candidate, scheme, policy, architecture,
-                           device=device)
+                           device=device, controller=controller)
         if best is None or result.edp_js < best.edp_js:
             best = result
     return best
@@ -115,8 +125,10 @@ def quick_layer_edp(
 __all__ = [
     "CapacityError",
     "ConfigurationError",
+    "ControllerConfig",
     "ConvLayer",
     "ConvOp",
+    "DEFAULT_CONTROLLER_CONFIG",
     "DEVICE_REGISTRY",
     "DRAMArchitecture",
     "DepthwiseConvOp",
@@ -136,6 +148,7 @@ __all__ = [
     "TensorSpec",
     "TilingConfig",
     "WorkloadError",
+    "controller_config",
     "default_device",
     "device_names",
     "get_device",
@@ -144,6 +157,8 @@ __all__ = [
     "register_device",
     "register_model",
     "register_workload",
+    "row_policy_names",
+    "scheduler_names",
     "workload_names",
     "__version__",
 ]

@@ -3,16 +3,20 @@
 Usage::
 
     python -m repro characterize [--arch DDR3] [--device NAME|all]
+                                 [--scheduler fr-fcfs] [--row-policy closed]
     python -m repro edp --model alexnet --layer CONV2 [--mapping 3]
                         [--device NAME] [--batch B]
                         [--bytes-per-element N]
+                        [--scheduler NAME] [--row-policy NAME]
     python -m repro dse --model alexnet [--arch SALP-MASA] [--layer FC6]
                         [--jobs N] [--chunk-size M] [--device NAME]
                         [--batch B] [--bytes-per-element N]
+                        [--scheduler NAME] [--row-policy NAME]
     python -m repro traffic --model alexnet [--device NAME] [--batch B]
                             [--bytes-per-element N]
     python -m repro models [--detail] [--model NAME]
     python -m repro devices
+    python -m repro policies
 
 Each subcommand prints the same plain-text tables the benchmark
 harness produces, so the paper's experiments are reachable without
@@ -34,6 +38,13 @@ workload at a given batch size and precision.
 ``--arch``/``--device`` values exit with status 2 and the list of
 valid names.  ``characterize --device all`` prints the per-condition
 cost tables for every registered device.
+
+``--scheduler`` / ``--row-policy`` select the memory-controller
+configuration (see ``repro policies``); the defaults are the paper's
+Table-II controller, ``fcfs`` and ``open``.  Non-default
+configurations are flagged in the table titles; DRAM traffic volumes
+are controller-independent, so ``traffic`` accepts the flags for
+interface uniformity but its byte counts never change.
 
 ``dse`` runs on the sharded :mod:`repro.core.engine`:
 
@@ -65,6 +76,12 @@ from .dram.device import (
     default_device,
     get_device,
 )
+from .dram.policies import (
+    ControllerConfig,
+    controller_config,
+    row_policy_names,
+    scheduler_names,
+)
 from .errors import ConfigurationError
 from .mapping.catalog import TABLE1_MAPPINGS, mapping_by_index
 from .units import format_bytes
@@ -86,6 +103,24 @@ def _device(name: Optional[str]) -> DeviceProfile:
     if name is None:
         return default_device()
     return get_device(name)
+
+
+def _controller(args: argparse.Namespace) -> ControllerConfig:
+    """Resolve ``--scheduler``/``--row-policy`` to a config."""
+    return controller_config(
+        scheduler=getattr(args, "scheduler", "fcfs"),
+        row_policy=getattr(args, "row_policy", "open"))
+
+
+def _title_suffix(config: ControllerConfig) -> str:
+    """Table-title tag for non-default controller configurations.
+
+    Empty for the default (Table-II) controller, so default output
+    stays byte-identical to the pre-policy CLI.
+    """
+    if config.is_default:
+        return ""
+    return f" [{config.label}]"
 
 
 def _workload(args: argparse.Namespace):
@@ -120,6 +155,7 @@ def _layers(args: argparse.Namespace):
 def cmd_characterize(args: argparse.Namespace) -> int:
     """Print the Fig.-1 per-condition costs."""
     requested = _architecture(args.arch) if args.arch else None
+    config = _controller(args)
     if args.device == "all":
         devices = list(DEVICE_REGISTRY)
         if requested is not None:
@@ -141,7 +177,8 @@ def cmd_characterize(args: argparse.Namespace) -> int:
             architectures = (requested,)
         else:
             architectures = device.supported_architectures
-        results = characterize_device(device, architectures)
+        results = characterize_device(
+            device, architectures, controller=config)
         for architecture in architectures:
             result = results[architecture]
             for name, cycles, read_nj, write_nj in result.rows():
@@ -151,7 +188,8 @@ def cmd_characterize(args: argparse.Namespace) -> int:
     print(format_table(
         ["device", "architecture", "condition", "cycles", "read nJ",
          "write nJ"],
-        rows, title="Per-access DRAM costs (paper Fig. 1)"))
+        rows, title="Per-access DRAM costs (paper Fig. 1)"
+                    + _title_suffix(config)))
     return 0
 
 
@@ -160,13 +198,14 @@ def cmd_edp(args: argparse.Namespace) -> int:
     architecture = _architecture(args.arch)
     device = _device(args.device)
     device.require_architecture(architecture)
+    config = _controller(args)
     scheme = ReuseScheme(args.scheme)
     policies = ([mapping_by_index(args.mapping)] if args.mapping
                 else list(TABLE1_MAPPINGS))
     for layer in _layers(args):
         result = explore_layer(
             layer, architectures=(architecture,), schemes=(scheme,),
-            policies=policies, device=device)
+            policies=policies, device=device, controller=config)
         rows = []
         for policy in policies:
             best = result.best(policy=policy)
@@ -181,7 +220,8 @@ def cmd_edp(args: argparse.Namespace) -> int:
             rows,
             title=f"{layer.name} on {architecture.value} "
                   f"({device.name}), "
-                  f"{scheme.value} (best tiling per mapping)"))
+                  f"{scheme.value} (best tiling per mapping)"
+                  + _title_suffix(config)))
         print()
     return 0
 
@@ -193,6 +233,7 @@ def cmd_dse(args: argparse.Namespace) -> int:
     architecture = _architecture(args.arch)
     device = _device(args.device)
     device.require_architecture(architecture)
+    config = _controller(args)
     if args.jobs < 0:
         raise SystemExit(f"--jobs must be >= 0, got {args.jobs}")
     if args.chunk_size is not None and args.chunk_size <= 0:
@@ -207,7 +248,7 @@ def cmd_dse(args: argparse.Namespace) -> int:
     for layer in _layers(args):
         result = explore_layer(
             layer, architectures=(architecture,), engine=engine,
-            device=device)
+            device=device, controller=config)
         best = result.best()
         total += best.edp_js
         tiling = best.tiling
@@ -222,7 +263,7 @@ def cmd_dse(args: argparse.Namespace) -> int:
         ["layer", "mapping", "schedule", "tiling Th/Tw/Tj/Ti",
          "min EDP [J*s]"],
         rows, title=f"Algorithm 1 on {architecture.value} "
-                    f"({device.name})"))
+                    f"({device.name})" + _title_suffix(config)))
     return 0
 
 
@@ -234,6 +275,9 @@ def cmd_traffic(args: argparse.Namespace) -> int:
     burst differ across generations).
     """
     device = _device(args.device) if args.device else None
+    # --scheduler/--row-policy are accepted for interface uniformity
+    # (argparse constrains them to registered names); traffic volumes
+    # are controller-independent, so they affect nothing here.
     rows = []
     for layer in _layers(args):
         tiling = enumerate_tilings(layer)[0]
@@ -298,6 +342,15 @@ def cmd_models(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_policies(args: argparse.Namespace) -> int:
+    """List the registered memory-controller policies."""
+    from .core.report import policies_table
+
+    del args
+    print(policies_table())
+    return 0
+
+
 def cmd_devices(args: argparse.Namespace) -> int:
     """List the registered DRAM device profiles."""
     del args
@@ -327,6 +380,24 @@ def build_parser() -> argparse.ArgumentParser:
         description="DRMap reproduction command-line interface")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    def add_controller_arguments(subparser: argparse.ArgumentParser
+                                 ) -> None:
+        """``--scheduler``/``--row-policy`` pair.
+
+        Choices derive from the policy registry, so new policies
+        appear without touching the CLI.
+        """
+        subparser.add_argument(
+            "--scheduler", default="fcfs",
+            choices=scheduler_names(),
+            help="controller scheduling policy (default: fcfs, the "
+                 "paper's Table-II controller)")
+        subparser.add_argument(
+            "--row-policy", dest="row_policy", default="open",
+            choices=row_policy_names(),
+            help="row-buffer policy (default: open, the paper's "
+                 "Table-II policy)")
+
     p_char = subparsers.add_parser(
         "characterize", help="print the Fig.-1 per-condition costs")
     p_char.add_argument("--arch", default=None,
@@ -336,6 +407,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="device profile name, or 'all' for every "
                              "registered device (default: "
                              "ddr3-1600-2gb-x8)")
+    add_controller_arguments(p_char)
     p_char.set_defaults(func=cmd_characterize)
 
     def add_workload_arguments(subparser: argparse.ArgumentParser
@@ -369,6 +441,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_edp.add_argument("--device", default=None,
                        help="device profile name (default: "
                             "ddr3-1600-2gb-x8)")
+    add_controller_arguments(p_edp)
     p_edp.set_defaults(func=cmd_edp)
 
     p_dse = subparsers.add_parser(
@@ -386,6 +459,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_dse.add_argument("--device", default=None,
                        help="device profile name (default: "
                             "ddr3-1600-2gb-x8)")
+    add_controller_arguments(p_dse)
     p_dse.set_defaults(func=cmd_dse)
 
     p_traffic = subparsers.add_parser(
@@ -394,6 +468,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_traffic.add_argument("--device", default=None,
                            help="device profile name: adds per-device "
                                 "burst counts")
+    add_controller_arguments(p_traffic)
     p_traffic.set_defaults(func=cmd_traffic)
 
     p_models = subparsers.add_parser(
@@ -410,6 +485,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_devices = subparsers.add_parser(
         "devices", help="list registered DRAM device profiles")
     p_devices.set_defaults(func=cmd_devices)
+
+    p_policies = subparsers.add_parser(
+        "policies", help="list registered memory-controller policies")
+    p_policies.set_defaults(func=cmd_policies)
 
     return parser
 

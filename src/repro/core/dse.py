@@ -33,6 +33,7 @@ from ..cnn.scheduling import ALL_SCHEMES, ReuseScheme
 from ..cnn.tiling import BufferConfig, TABLE2_BUFFERS, TilingConfig
 from ..dram.architecture import DRAMArchitecture
 from ..dram.device import DeviceProfile
+from ..dram.policies import ControllerConfig
 from ..dram.spec import DRAMOrganization
 from ..errors import DseError
 from ..mapping.catalog import TABLE1_MAPPINGS
@@ -129,6 +130,7 @@ def explore_layer(
     chunk_size: Optional[int] = None,
     engine=None,
     device: Optional[DeviceProfile] = None,
+    controller: Optional[ControllerConfig] = None,
 ) -> DseResult:
     """Algorithm 1 for one layer: evaluate every admissible combination.
 
@@ -148,13 +150,17 @@ def explore_layer(
         DRAM device profile to explore on (default: the paper's
         Table-II device); every requested architecture must be in its
         capability set.
+    controller:
+        Memory-controller configuration (scheduler + row policy) the
+        characterizations are measured under (default: the paper's
+        FCFS/open-row Table-II controller).
     """
     eng = _engine_for(jobs, chunk_size, engine)
     tilings_seq = None if tilings is None else list(tilings)
     return eng.explore_layer(
         layer, architectures=architectures, schemes=schemes,
         policies=policies, buffers=buffers, organization=organization,
-        tilings=tilings_seq, device=device)
+        tilings=tilings_seq, device=device, controller=controller)
 
 
 def explore_network(

@@ -19,6 +19,7 @@ from ..dram.characterize import (
 from ..dram.architecture import DRAMArchitecture
 from ..dram.commands import RequestKind
 from ..dram.device import DeviceProfile, resolve_device
+from ..dram.policies import ControllerConfig
 from ..dram.spec import DRAMOrganization
 from ..cnn.layer import ConvLayer
 from ..cnn.scheduling import ReuseScheme
@@ -145,6 +146,7 @@ def layer_edp(
     characterization: Optional[CharacterizationResult] = None,
     cache=None,
     device: Optional[DeviceProfile] = None,
+    controller: Optional[ControllerConfig] = None,
 ) -> LayerEDP:
     """EDP of one layer for one (tiling, scheme, mapping, architecture).
 
@@ -154,6 +156,9 @@ def layer_edp(
     ``device`` selects the DRAM device profile (default: the paper's
     Table-II device); ``organization`` overrides its geometry.  The
     device's capability set must include ``architecture``.
+    ``controller`` selects the memory-controller configuration the
+    per-condition costs are measured under (default: FCFS/open-row);
+    it is ignored when a pre-measured ``characterization`` is given.
 
     ``cache`` optionally supplies an
     :class:`repro.core.engine.EvaluationCache`; the policy-independent
@@ -169,7 +174,7 @@ def layer_edp(
         resolved = resolve_adaptive(layer, tiling, scheme)
     if characterization is None:
         characterization = characterize_cached(
-            architecture, device=profile)
+            architecture, device=profile, controller=controller)
     if cache is not None:
         traffic: LayerTraffic = cache.traffic(layer, tiling, resolved)
     else:
@@ -200,10 +205,12 @@ def network_edp(
     architecture: DRAMArchitecture,
     organization: Optional[DRAMOrganization] = None,
     device: Optional[DeviceProfile] = None,
+    controller: Optional[ControllerConfig] = None,
 ) -> NetworkEDP:
     """EDP of a whole network with per-layer tilings."""
     profile = resolve_device(device, organization)
-    characterization = characterize_cached(architecture, device=profile)
+    characterization = characterize_cached(
+        architecture, device=profile, controller=controller)
     per_layer: Dict[str, LayerEDP] = {}
     for layer in layers:
         per_layer[layer.name] = layer_edp(

@@ -90,6 +90,11 @@ from ..dram.characterize import (
     DEFAULT_CHARACTERIZATION_CACHE,
 )
 from ..dram.device import DeviceProfile, resolve_device
+from ..dram.policies import (
+    DEFAULT_CONTROLLER_CONFIG,
+    ControllerConfig,
+    resolve_controller,
+)
 from ..dram.spec import DRAMOrganization
 from ..errors import DseError
 from ..mapping.catalog import TABLE1_MAPPINGS
@@ -206,6 +211,10 @@ class ExplorationContext:
     #: passed a :class:`repro.workloads.Network`; shipped to workers
     #: with the rest of the context so provenance survives pickling.
     workload: Optional[Network] = None
+    #: Memory-controller configuration the characterizations were
+    #: measured under; pickled with the context so worker processes
+    #: share the exact controller provenance.
+    controller: ControllerConfig = DEFAULT_CONTROLLER_CONFIG
 
     @property
     def organization(self) -> DRAMOrganization:
@@ -249,12 +258,14 @@ def _build_context(
     tilings: Optional[Sequence[TilingConfig]],
     characterization_cache: CharacterizationCache,
     device: Optional[DeviceProfile] = None,
+    controller: Optional[ControllerConfig] = None,
 ) -> ExplorationContext:
     """Validate the grid and pre-compute everything shards share.
 
     The resolved :class:`DeviceProfile` (with ``organization`` folded
-    in) is embedded in the context, so worker processes reconstruct
-    the exact device deterministically from the pickled context alone.
+    in) and :class:`ControllerConfig` are embedded in the context, so
+    worker processes reconstruct the exact device and controller
+    deterministically from the pickled context alone.
     ``architectures=None`` selects the device's capability set; an
     explicit sequence must be within it.
 
@@ -264,6 +275,7 @@ def _build_context(
     workload = layers if isinstance(layers, Network) else None
     layers = as_layers(layers)
     profile = resolve_device(device, organization)
+    config = resolve_controller(controller)
     if architectures is None:
         architectures = profile.supported_architectures
     for architecture in architectures:
@@ -290,7 +302,7 @@ def _build_context(
         offset += per_point * len(admissible)
     characterizations = {
         architecture: characterization_cache.get(
-            architecture, device=profile)
+            architecture, device=profile, controller=config)
         for architecture in architectures
     }
     return ExplorationContext(
@@ -302,6 +314,7 @@ def _build_context(
         characterizations=characterizations,
         offsets=tuple(grid.offset for grid in grids),
         workload=workload,
+        controller=config,
     )
 
 
@@ -528,12 +541,13 @@ class ExplorationEngine:
         organization: Optional[DRAMOrganization] = None,
         tilings: Optional[Sequence[TilingConfig]] = None,
         device: Optional[DeviceProfile] = None,
+        controller: Optional[ControllerConfig] = None,
     ) -> DseResult:
         """Algorithm 1 for one layer; full exploration record."""
         return self.explore_network(
             [layer], architectures=architectures, schemes=schemes,
             policies=policies, buffers=buffers, organization=organization,
-            tilings=tilings, device=device)
+            tilings=tilings, device=device, controller=controller)
 
     def explore_network(
         self,
@@ -545,6 +559,7 @@ class ExplorationEngine:
         organization: Optional[DRAMOrganization] = None,
         tilings: Optional[Sequence[TilingConfig]] = None,
         device: Optional[DeviceProfile] = None,
+        controller: Optional[ControllerConfig] = None,
     ) -> DseResult:
         """Algorithm 1 over all layers; full exploration record.
 
@@ -554,13 +569,16 @@ class ExplorationEngine:
         and rides along in the pickled context.  ``device`` selects
         the DRAM device profile (default: the paper's Table-II
         device); every architecture in ``architectures`` must be in
-        its capability set.  The returned points are in the serial
-        nested-loop order regardless of ``jobs``.
+        its capability set.  ``controller`` selects the
+        memory-controller configuration the characterizations are
+        measured under (default: the paper's FCFS/open-row).  The
+        returned points are in the serial nested-loop order regardless
+        of ``jobs``.
         """
         context = _build_context(
             layers, architectures, schemes, policies, buffers,
             organization, tilings, self.characterization_cache,
-            device=device)
+            device=device, controller=controller)
         shards: Dict[int, List[DsePoint]] = {}
         for start, points in self._shard_results(context):
             shards[start] = points
@@ -579,6 +597,7 @@ class ExplorationEngine:
         organization: Optional[DRAMOrganization] = None,
         tilings: Optional[Sequence[TilingConfig]] = None,
         device: Optional[DeviceProfile] = None,
+        controller: Optional[ControllerConfig] = None,
     ) -> ReducedExploration:
         """Bounded-memory exploration: stream shards into minima.
 
@@ -589,7 +608,7 @@ class ExplorationEngine:
         context = _build_context(
             layers, architectures, schemes, policies, buffers,
             organization, tilings, self.characterization_cache,
-            device=device)
+            device=device, controller=controller)
         reduced = ReducedExploration()
         for start, points in self._shard_results(context):
             reduced.absorb(start, points)

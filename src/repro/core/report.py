@@ -132,3 +132,36 @@ def series_table(
     ]
     return format_table(
         headers=["series"] + list(column_names), rows=rows, title=title)
+
+
+def policies_table() -> str:
+    """Tabulate the registered memory-controller policies.
+
+    One row per scheduler and per row-buffer policy, with the default
+    (Table-II) configuration flagged — the ``repro policies`` listing.
+    """
+    from ..dram.policies import (
+        DEFAULT_CONTROLLER_CONFIG,
+        ROW_POLICY_SUMMARIES,
+        SCHEDULER_SUMMARIES,
+        RowPolicyKind,
+        SchedulerKind,
+    )
+
+    default = DEFAULT_CONTROLLER_CONFIG
+    rows = []
+    for kind in SchedulerKind:
+        rows.append([
+            "scheduler", kind.value,
+            "yes" if kind is default.scheduler else "",
+            SCHEDULER_SUMMARIES[kind],
+        ])
+    for kind in RowPolicyKind:
+        rows.append([
+            "row-policy", kind.value,
+            "yes" if kind is default.row_policy else "",
+            ROW_POLICY_SUMMARIES[kind],
+        ])
+    return format_table(
+        ["axis", "name", "default", "description"],
+        rows, title="Registered memory-controller policies")

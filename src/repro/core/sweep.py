@@ -37,6 +37,7 @@ from ..cnn.tiling import BufferConfig, TABLE2_BUFFERS, enumerate_tilings
 from ..dram.architecture import DRAMArchitecture
 from ..dram.characterize import characterize_cached
 from ..dram.device import DeviceProfile, resolve_device
+from ..dram.policies import ControllerConfig
 from ..dram.spec import DRAMOrganization
 from ..mapping.catalog import DRMAP, MAPPING_2
 from ..mapping.policy import MappingPolicy
@@ -81,9 +82,11 @@ def _min_edp(
     buffers: BufferConfig,
     scheme: ReuseScheme,
     organization: Optional[DRAMOrganization] = None,
+    controller: Optional[ControllerConfig] = None,
 ) -> float:
     profile = resolve_device(device, organization)
-    characterization = characterize_cached(architecture, device=profile)
+    characterization = characterize_cached(
+        architecture, device=profile, controller=controller)
     cache = _evaluation_cache()
     best: Optional[float] = None
     for tiling in enumerate_tilings(layer, buffers):
@@ -105,6 +108,7 @@ def sweep_subarrays(
     architecture: DRAMArchitecture = DRAMArchitecture.SALP_MASA,
     scheme: ReuseScheme = ReuseScheme.ADAPTIVE_REUSE,
     device: Optional[DeviceProfile] = None,
+    controller: Optional[ControllerConfig] = None,
 ) -> List[SweepPoint]:
     """EDP vs subarrays-per-bank.
 
@@ -120,10 +124,12 @@ def sweep_subarrays(
             value=count,
             drmap_edp_js=_min_edp(
                 layer, DRMAP, architecture, profile,
-                TABLE2_BUFFERS, scheme, organization=organization),
+                TABLE2_BUFFERS, scheme, organization=organization,
+                controller=controller),
             worst_edp_js=_min_edp(
                 layer, MAPPING_2, architecture, profile,
-                TABLE2_BUFFERS, scheme, organization=organization),
+                TABLE2_BUFFERS, scheme, organization=organization,
+                controller=controller),
         ))
     return points
 
@@ -134,6 +140,7 @@ def sweep_buffers(
     architecture: DRAMArchitecture = DRAMArchitecture.DDR3,
     scheme: ReuseScheme = ReuseScheme.ADAPTIVE_REUSE,
     device: Optional[DeviceProfile] = None,
+    controller: Optional[ControllerConfig] = None,
 ) -> List[SweepPoint]:
     """EDP vs on-chip buffer capacity (all three buffers together)."""
     profile = resolve_device(device)
@@ -148,10 +155,11 @@ def sweep_buffers(
             parameter="buffer_kb",
             value=size_kb,
             drmap_edp_js=_min_edp(
-                layer, DRMAP, architecture, profile, buffers, scheme),
+                layer, DRMAP, architecture, profile, buffers, scheme,
+                controller=controller),
             worst_edp_js=_min_edp(
                 layer, MAPPING_2, architecture, profile, buffers,
-                scheme),
+                scheme, controller=controller),
         ))
     return points
 
@@ -162,6 +170,7 @@ def sweep_precision(
     architecture: DRAMArchitecture = DRAMArchitecture.DDR3,
     scheme: ReuseScheme = ReuseScheme.ADAPTIVE_REUSE,
     device: Optional[DeviceProfile] = None,
+    controller: Optional[ControllerConfig] = None,
 ) -> List[SweepPoint]:
     """EDP vs data precision (int8 / fp16 / fp32 footprints).
 
@@ -176,10 +185,10 @@ def sweep_precision(
             value=bpe,
             drmap_edp_js=_min_edp(
                 layer, DRMAP, architecture, profile,
-                TABLE2_BUFFERS, scheme),
+                TABLE2_BUFFERS, scheme, controller=controller),
             worst_edp_js=_min_edp(
                 layer, MAPPING_2, architecture, profile,
-                TABLE2_BUFFERS, scheme),
+                TABLE2_BUFFERS, scheme, controller=controller),
         ))
     return points
 
@@ -190,6 +199,7 @@ def sweep_batch(
     architecture: DRAMArchitecture = DRAMArchitecture.DDR3,
     scheme: ReuseScheme = ReuseScheme.ADAPTIVE_REUSE,
     device: Optional[DeviceProfile] = None,
+    controller: Optional[ControllerConfig] = None,
 ) -> List[SweepPoint]:
     """EDP vs batch size (activations scale, weights amortize)."""
     profile = resolve_device(device)
@@ -201,10 +211,10 @@ def sweep_batch(
             value=batch,
             drmap_edp_js=_min_edp(
                 layer, DRMAP, architecture, profile,
-                TABLE2_BUFFERS, scheme),
+                TABLE2_BUFFERS, scheme, controller=controller),
             worst_edp_js=_min_edp(
                 layer, MAPPING_2, architecture, profile,
-                TABLE2_BUFFERS, scheme),
+                TABLE2_BUFFERS, scheme, controller=controller),
         ))
     return points
 
@@ -216,6 +226,7 @@ def sweep_network_batch(
     scheme: ReuseScheme = ReuseScheme.ADAPTIVE_REUSE,
     device: Optional[DeviceProfile] = None,
     buffers: BufferConfig = TABLE2_BUFFERS,
+    controller: Optional[ControllerConfig] = None,
 ) -> List[SweepPoint]:
     """Network EDP vs batch size over a whole workload graph.
 
@@ -238,10 +249,11 @@ def sweep_network_batch(
         worst_total = 0.0
         for layer in network.lower():
             drmap_total += _min_edp(
-                layer, DRMAP, architecture, profile, buffers, scheme)
+                layer, DRMAP, architecture, profile, buffers, scheme,
+                controller=controller)
             worst_total += _min_edp(
                 layer, MAPPING_2, architecture, profile, buffers,
-                scheme)
+                scheme, controller=controller)
         points.append(SweepPoint(
             parameter=f"{network.name}:batch",
             value=batch,

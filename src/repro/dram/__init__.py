@@ -48,6 +48,19 @@ from .commands import (
 )
 from .controller import MemoryController
 from .energy import EnergyAccountant, TraceEnergy
+from .policies import (
+    DEFAULT_CONTROLLER_CONFIG,
+    ControllerConfig,
+    RowPolicyKind,
+    SchedulerKind,
+    all_controller_configs,
+    controller_config,
+    get_row_policy,
+    get_scheduler,
+    resolve_controller,
+    row_policy_names,
+    scheduler_names,
+)
 from .power import CurrentParameters, DDR3_1600_2GB_X8_CURRENTS, EnergyModel
 from .presets import (
     DDR3_1600_2GB_X8,
@@ -78,6 +91,7 @@ __all__ = [
     "CommandKind",
     "CommandTrace",
     "ConditionCost",
+    "ControllerConfig",
     "Coordinate",
     "CurrentParameters",
     "DDR3_1066_TIMINGS",
@@ -85,6 +99,7 @@ __all__ = [
     "DDR3_1600_2GB_X8_CURRENTS",
     "DDR3_1600_TIMINGS",
     "DEFAULT_CHARACTERIZATION_CACHE",
+    "DEFAULT_CONTROLLER_CONFIG",
     "DEFAULT_DEVICE_NAME",
     "DEVICE_REGISTRY",
     "DRAMArchitecture",
@@ -97,15 +112,19 @@ __all__ = [
     "MemoryController",
     "Request",
     "RequestKind",
+    "RowPolicyKind",
     "SALP_ARCHITECTURES",
+    "SchedulerKind",
     "ServicedRequest",
     "SimulationResult",
     "TINY_ORGANIZATION",
     "TimingParameters",
     "TraceEnergy",
     "address_to_request",
+    "all_controller_configs",
     "behavior_of",
     "characterize",
+    "controller_config",
     "characterize_all",
     "characterize_cached",
     "characterize_device",
@@ -113,11 +132,16 @@ __all__ = [
     "default_device",
     "device_names",
     "get_device",
+    "get_row_policy",
+    "get_scheduler",
     "organization_for",
     "register_device",
     "read_command_trace",
     "read_request_trace",
     "request_to_address",
+    "resolve_controller",
+    "row_policy_names",
+    "scheduler_names",
     "write_command_trace",
     "write_request_trace",
 ]

@@ -96,6 +96,16 @@ class BankState:
     subarrays: Dict[int, SubarrayState] = field(default_factory=dict)
     #: Most recently used activated subarray (MASA subarray-select).
     mru_subarray: Optional[int] = None
+    #: Cycle at which the latest *bank-level* precharge completes.  On
+    #: commodity DRAM (no subarray-level parallelism) tRP gates any ACT
+    #: to the bank, whichever subarray was precharged; SALP makes the
+    #: wait subarray-local and ignores this field.
+    precharge_done: int = 0
+    #: Cycle of the latest PRE command issued to any subarray of the
+    #: bank.  A later ACT may never be *issued* before it: even SALP's
+    #: precharge/activation overlap starts the ACT right after the PRE
+    #: command, not before it.
+    last_pre_cycle: int = NEVER
 
     def subarray(self, index: int) -> SubarrayState:
         """State of subarray ``index`` (created lazily)."""

@@ -32,11 +32,17 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional
 
 from ..caching import CacheStats, LRUMemo
+from ..errors import ConfigurationError
 
 from .address import Coordinate
 from .architecture import DRAMArchitecture
 from .commands import Request, RequestKind
 from .device import DEFAULT_DEVICE_NAME, DeviceProfile, resolve_device
+from .policies import (
+    DEFAULT_CONTROLLER_CONFIG,
+    ControllerConfig,
+    resolve_controller,
+)
 from .simulator import DRAMSimulator
 from .spec import DRAMOrganization
 
@@ -81,12 +87,18 @@ class ConditionCost:
 
 @dataclass(frozen=True)
 class CharacterizationResult:
-    """Fig.-1 numbers for one architecture on one device."""
+    """Fig.-1 numbers for one architecture on one device.
+
+    ``controller`` records the memory-controller configuration the
+    costs were measured under (the paper's Fig. 1 uses the default
+    FCFS/open-row controller).
+    """
 
     architecture: DRAMArchitecture
     costs: Mapping[AccessCondition, ConditionCost]
     tck_ns: float
     device_name: str = DEFAULT_DEVICE_NAME
+    controller: ControllerConfig = DEFAULT_CONTROLLER_CONFIG
 
     def cost(self, condition: AccessCondition) -> ConditionCost:
         """Cost of ``condition``."""
@@ -197,6 +209,7 @@ def characterize(
     short_count: int = 64,
     long_count: int = 320,
     device: Optional[DeviceProfile] = None,
+    controller: Optional[ControllerConfig] = None,
 ) -> CharacterizationResult:
     """Measure the Fig.-1 per-condition costs for ``architecture``.
 
@@ -217,15 +230,27 @@ def characterize(
         not used; it only labels the result's ``device_name`` (a
         pre-built simulator of unknown provenance is labelled
         ``"custom"``).
+    controller:
+        Memory-controller configuration to measure under (default:
+        the paper's FCFS/open-row controller).  When ``simulator`` is
+        supplied its own configuration wins and ``controller`` must
+        not disagree with it.
     """
     if simulator is None:
         profile = resolve_device(device)
-        simulator = DRAMSimulator.from_profile(profile, architecture)
+        config = resolve_controller(controller)
+        simulator = DRAMSimulator.from_profile(
+            profile, architecture, controller=config)
         device_name = profile.name
-    elif device is not None:
-        device_name = device.name
     else:
-        device_name = "custom"
+        if controller is not None \
+                and resolve_controller(controller) != simulator.controller:
+            raise ConfigurationError(
+                f"controller {resolve_controller(controller).label!r} "
+                f"disagrees with the pre-built simulator's "
+                f"{simulator.controller.label!r}")
+        config = simulator.controller
+        device_name = device.name if device is not None else "custom"
     costs: Dict[AccessCondition, ConditionCost] = {}
     for condition, stream in _STREAMS.items():
         read_cycles, read_nj = _marginal_cost(
@@ -251,6 +276,7 @@ def characterize(
         costs=costs,
         tck_ns=simulator.timings.tck_ns,
         device_name=device_name,
+        controller=config,
     )
 
 
@@ -260,11 +286,14 @@ class CharacterizationCache:
     Characterizing one architecture runs eight micro-experiment streams
     plus two isolated requests on the cycle-level simulator — tens of
     milliseconds each, which dominates small sweeps when repeated per
-    design point.  This cache keys results on the pair
-    ``(profile, architecture)`` — a :class:`DeviceProfile` captures
-    geometry, timings and currents, so two devices sharing a geometry
-    but differing in speed grade or IDD currents can never collide —
-    and evicts least-recently-used entries beyond ``maxsize``.  Both
+    design point.  This cache keys results on the triple
+    ``(profile, architecture, controller)`` — a :class:`DeviceProfile`
+    captures geometry, timings and currents, so two devices sharing a
+    geometry but differing in speed grade or IDD currents can never
+    collide, and a :class:`ControllerConfig` captures the scheduler
+    and row policy, so policy variants can never be served the default
+    controller's costs — and evicts least-recently-used entries beyond
+    ``maxsize``.  Both
     read and write costs are measured in one pass, so the request kind
     needs no key component.  Hits and misses are additionally counted
     per device name (:meth:`device_stats`).
@@ -326,6 +355,7 @@ class CharacterizationCache:
         architecture: DRAMArchitecture,
         organization: Optional[DRAMOrganization] = None,
         device: Optional[DeviceProfile] = None,
+        controller: Optional[ControllerConfig] = None,
     ) -> CharacterizationResult:
         """Characterization of ``architecture`` on a device.
 
@@ -333,19 +363,24 @@ class CharacterizationCache:
         non-``None`` ``organization`` overrides the profile's geometry
         (the sweeps vary geometry at a fixed speed grade).  The
         device's capability set must include ``architecture``.
-        Results are computed on first use and served from the cache —
-        as the *same object* — afterwards.
+        ``controller`` selects the memory-controller configuration
+        (default: FCFS/open-row) and is part of the cache key — a
+        ``(profile, architecture)`` key would silently serve one
+        policy's costs to another.  Results are computed on first use
+        and served from the cache — as the *same object* — afterwards.
         """
         profile = resolve_device(device, organization)
         profile.require_architecture(architecture)
+        config = resolve_controller(controller)
 
         def compute() -> CharacterizationResult:
-            simulator = DRAMSimulator.from_profile(profile, architecture)
+            simulator = DRAMSimulator.from_profile(
+                profile, architecture, controller=config)
             return characterize(
                 architecture, simulator=simulator, device=profile)
 
         result, hit = self._memo.get_or_compute_flagged(
-            (profile, architecture), compute)
+            (profile, architecture, config), compute)
         counters = self._per_device.setdefault(profile.name, [0, 0])
         counters[0 if hit else 1] += 1
         return result
@@ -362,15 +397,16 @@ def characterize_cached(
     architecture: DRAMArchitecture,
     organization: Optional[DRAMOrganization] = None,
     device: Optional[DeviceProfile] = None,
+    controller: Optional[ControllerConfig] = None,
 ) -> CharacterizationResult:
     """Characterize through the process-wide LRU cache.
 
-    Like :func:`characterize` but keyed on ``(profile, architecture)``
-    so repeated requests — e.g. one per design point of a sweep — hit
-    the simulator only once per configuration.
+    Like :func:`characterize` but keyed on ``(profile, architecture,
+    controller)`` so repeated requests — e.g. one per design point of
+    a sweep — hit the simulator only once per configuration.
     """
     return DEFAULT_CHARACTERIZATION_CACHE.get(
-        architecture, organization, device=device)
+        architecture, organization, device=device, controller=controller)
 
 
 def characterize_preset(architecture: DRAMArchitecture
@@ -387,28 +423,32 @@ def characterize_preset(architecture: DRAMArchitecture
 def characterize_device(
     device: DeviceProfile,
     architectures: Optional[tuple] = None,
+    controller: Optional[ControllerConfig] = None,
 ) -> Dict[DRAMArchitecture, CharacterizationResult]:
     """Cached Fig.-1 characterization of one device.
 
     By default every architecture in the device's capability set is
     characterized; an explicit ``architectures`` sequence is validated
-    against that set.
+    against that set.  ``controller`` selects the memory-controller
+    configuration (default: the paper's FCFS/open-row).
     """
     if architectures is None:
         architectures = device.supported_architectures
     return {
-        arch: DEFAULT_CHARACTERIZATION_CACHE.get(arch, device=device)
+        arch: DEFAULT_CHARACTERIZATION_CACHE.get(
+            arch, device=device, controller=controller)
         for arch in architectures
     }
 
 
 def characterize_all(
     device: Optional[DeviceProfile] = None,
+    controller: Optional[ControllerConfig] = None,
 ) -> Dict[DRAMArchitecture, CharacterizationResult]:
     """Fig.-1 characterization for every supported architecture.
 
-    With the default device this is the paper's Fig. 1: all four
-    architectures on DDR3-1600 2 Gb x8.
+    With the default device and controller this is the paper's Fig. 1:
+    all four architectures on DDR3-1600 2 Gb x8 under FCFS/open-row.
     """
     profile = resolve_device(device)
-    return characterize_device(profile)
+    return characterize_device(profile, controller=controller)

@@ -1,10 +1,20 @@
-"""FCFS open-row memory controller over the cycle-level DRAM model.
+"""Policy-driven memory controller over the cycle-level DRAM model.
 
-This is the "ramulator-lite" scheduler: it services requests strictly
-in order (FCFS, matching Table II's controller policy), keeps rows open
-after use (open-row policy), and issues each command at the earliest
-cycle that satisfies every JEDEC constraint tracked by
-:mod:`repro.dram.bank`.
+This is the "ramulator-lite" scheduler.  By default it services
+requests strictly in order (FCFS, matching Table II's controller
+policy) and keeps rows open after use (open-row policy), issuing each
+command at the earliest cycle that satisfies every JEDEC constraint
+tracked by :mod:`repro.dram.bank`.  Both decisions are pluggable via
+:class:`repro.dram.policies.ControllerConfig`:
+
+* the **scheduler** (``fcfs`` / ``fr-fcfs``) picks which pending
+  request of a bounded reorder window is serviced next;
+* the **row-buffer policy** (``open`` / ``closed`` / ``timeout``)
+  decides whether the row is auto-precharged after the access or left
+  open (possibly with an idle timeout).
+
+The default configuration reproduces the paper's controller exactly —
+command traces are byte-identical to the pre-policy implementation.
 
 The SALP architecture flags (:mod:`repro.dram.architecture`) relax
 specific inter-command waits:
@@ -40,6 +50,12 @@ from .commands import (
     RequestKind,
     ServicedRequest,
 )
+from .policies import (
+    ControllerConfig,
+    get_row_policy,
+    get_scheduler,
+    resolve_controller,
+)
 from .spec import DRAMOrganization
 from .timing import TimingParameters
 
@@ -59,7 +75,7 @@ class _Outcome:
 
 
 class MemoryController:
-    """FCFS open-row controller for one DRAM system.
+    """Policy-driven controller for one DRAM system.
 
     Parameters
     ----------
@@ -69,6 +85,11 @@ class MemoryController:
         Timing parameter set.
     architecture:
         One of the four paper architectures; selects the behaviour flags.
+    refresh_enabled:
+        Issue all-bank REF commands on the tREFI schedule.
+    config:
+        Controller-policy configuration (scheduler + row-buffer
+        policy); ``None`` selects the paper's FCFS/open-row default.
     """
 
     def __init__(
@@ -77,12 +98,20 @@ class MemoryController:
         timings: TimingParameters,
         architecture: DRAMArchitecture = DRAMArchitecture.DDR3,
         refresh_enabled: bool = False,
+        config: Optional[ControllerConfig] = None,
     ) -> None:
         self.organization = organization
         self.timings = timings
         self.architecture = architecture
         self.behavior: ArchitectureBehavior = behavior_of(architecture)
         self.refresh_enabled = refresh_enabled
+        self.config = resolve_controller(config)
+        self._scheduler = get_scheduler(self.config.scheduler)
+        self._row_policy = get_row_policy(self.config.row_policy)
+        self._window_size = self._scheduler.window_size(self.config)
+        self._close_after_access = \
+            self._row_policy.close_after_access(self.config)
+        self._idle_limit = self._row_policy.idle_limit(self.config)
         self._banks: Dict[Tuple, BankState] = {}
         self._ranks: Dict[Tuple, RankState] = {}
         self._commands: List[Command] = []
@@ -113,9 +142,34 @@ class MemoryController:
     # ------------------------------------------------------------------
 
     def run(self, requests: Iterable[Request]) -> CommandTrace:
-        """Service ``requests`` in order and return the command trace."""
-        for request in requests:
-            self._service(request)
+        """Service ``requests`` and return the command trace.
+
+        The configured scheduler picks the next request from a bounded
+        lookahead window (depth 1 under FCFS — strict order); the
+        window refills from the request stream as entries drain.
+        """
+        if self._window_size == 1:
+            # FCFS fast path: no window bookkeeping.
+            for request in requests:
+                self._service(request)
+        else:
+            # Stream the request iterator through a bounded window, so
+            # memory stays O(reorder_window) on arbitrarily long
+            # traces (matching the FCFS path's streaming behaviour).
+            iterator = iter(requests)
+            window: List[Request] = []
+            exhausted = False
+            while True:
+                while not exhausted \
+                        and len(window) < self._window_size:
+                    try:
+                        window.append(next(iterator))
+                    except StopIteration:
+                        exhausted = True
+                if not window:
+                    break
+                index = self._scheduler.select(window, self._would_hit)
+                self._service(window.pop(index))
         return CommandTrace(
             commands=list(self._commands),
             serviced=list(self._serviced),
@@ -143,6 +197,8 @@ class MemoryController:
         coord.validate(self.organization)
         bank = self.bank_state(coord.bank_key)
         rank = self.rank_state((coord.channel, coord.rank))
+        if self._idle_limit is not None:
+            self._expire_idle_rows(rank, bank, coord)
         outcome = self._classify(bank, coord)
 
         first_cmd_cycle: Optional[int] = None
@@ -179,6 +235,14 @@ class MemoryController:
         if first_cmd_cycle is None:
             first_cmd_cycle = col_cycle
 
+        if self._close_after_access:
+            # Closed-row policy: auto-precharge the accessed row at the
+            # earliest legal cycle (tRAS / tRTP / tWR all respected by
+            # the ordinary precharge path).
+            self._issue_precharge(
+                rank, bank, coord, coord.subarray,
+                switching_subarray=False)
+
         self._last_data_end = max(self._last_data_end, data_end)
         self._serviced.append(ServicedRequest(
             request=request,
@@ -214,6 +278,7 @@ class MemoryController:
                     subarray_state.last_write_data_end = NEVER
                     subarray_state.precharge_done = ready
                 bank.mru_subarray = None
+                bank.precharge_done = max(bank.precharge_done, ready)
             for rank in self._ranks.values():
                 rank.bus_free = max(rank.bus_free, ready)
             self._commands.append(Command(
@@ -262,6 +327,54 @@ class MemoryController:
                      self.organization.subarrays_per_bank)
         return len(bank.open_subarrays) >= budget
 
+    def _would_hit(self, request: Request) -> bool:
+        """Hit predicate for the scheduler's row-hit-first selection.
+
+        Evaluated against the *current* bank state, exactly as the
+        request would classify if serviced next — including the
+        timeout row policy's pending expiry (an expired row cannot be
+        hit; it will be closed before service).
+        """
+        coord = request.coordinate
+        coord.validate(self.organization)
+        bank = self.bank_state(coord.bank_key)
+        target = bank.subarray(coord.subarray)
+        if self._idle_limit is not None and target.is_open \
+                and target.last_use + self._idle_limit \
+                <= self._last_data_end:
+            return False
+        return self._classify(bank, coord).hit
+
+    def _expire_idle_rows(self, rank: RankState, bank: BankState,
+                          coord) -> None:
+        """Timeout row policy: close rows left idle past the limit.
+
+        Expiry is evaluated lazily, when the bank is next touched: any
+        subarray whose open row saw no activity for ``timeout_cycles``
+        before the controller's current time is precharged at the
+        cycle its timeout elapsed (pushed later only by tRAS / tRTP /
+        tWR legality and command-bus occupancy).
+        """
+        now = self._last_data_end
+        for victim in sorted(bank.open_subarrays):
+            state = bank.subarray(victim)
+            deadline = state.last_use + self._idle_limit
+            if deadline > now:
+                continue
+            earliest = max(state.earliest_precharge(self.timings),
+                           deadline)
+            cycle = rank.next_command_slot(max(earliest, 0))
+            rank.record_command(cycle)
+            state.precharge(cycle, self.timings)
+            bank.precharge_done = max(
+                bank.precharge_done, cycle + self.timings.tRP)
+            bank.last_pre_cycle = max(bank.last_pre_cycle, cycle)
+            self._commands.append(Command(
+                kind=CommandKind.PRE,
+                cycle=cycle,
+                coordinate=coord.replace(subarray=victim, column=0),
+            ))
+
     # ------------------------------------------------------------------
     # Command issue helpers
     # ------------------------------------------------------------------
@@ -282,6 +395,9 @@ class MemoryController:
         cycle = rank.next_command_slot(max(earliest, 0))
         rank.record_command(cycle)
         state.precharge(cycle, self.timings)
+        bank.precharge_done = max(
+            bank.precharge_done, cycle + self.timings.tRP)
+        bank.last_pre_cycle = max(bank.last_pre_cycle, cycle)
         self._commands.append(Command(
             kind=CommandKind.PRE,
             cycle=cycle,
@@ -304,6 +420,16 @@ class MemoryController:
             target.precharge_done,
             0,
         )
+        if not self.behavior.overlap_precharge_with_activation:
+            # Commodity DRAM: tRP is bank-global, so any earlier
+            # precharge of *any* subarray of this bank (closed-row
+            # auto-precharge, timeout expiry) gates the ACT.  SALP
+            # makes the wait subarray-local.
+            earliest = max(earliest, bank.precharge_done)
+        # No ACT may be issued before a PRE the controller already
+        # committed to this bank: SALP's overlap starts the activation
+        # right after the precharge command, never ahead of it.
+        earliest = max(earliest, bank.last_pre_cycle + 1)
         if pre_cycle is not None:
             if victim_other_subarray \
                     and self.behavior.overlap_precharge_with_activation:

@@ -27,6 +27,7 @@ from .architecture import DRAMArchitecture
 from .commands import CommandTrace, Request
 from .controller import MemoryController
 from .energy import EnergyAccountant, TraceEnergy
+from .policies import ControllerConfig, resolve_controller
 from .power import CurrentParameters, DDR3_1600_2GB_X8_CURRENTS, EnergyModel
 from .spec import DRAMOrganization
 from .timing import DDR3_1600_TIMINGS, TimingParameters
@@ -80,10 +81,12 @@ class DRAMSimulator:
         architecture: DRAMArchitecture = DRAMArchitecture.DDR3,
         currents: CurrentParameters = DDR3_1600_2GB_X8_CURRENTS,
         include_background_energy: bool = True,
+        controller: Optional[ControllerConfig] = None,
     ) -> None:
         self.organization = organization
         self.timings = timings
         self.architecture = architecture
+        self.controller = resolve_controller(controller)
         self.energy_model = EnergyModel(organization, timings, currents)
         self.include_background_energy = include_background_energy
 
@@ -133,7 +136,8 @@ class DRAMSimulator:
     def run(self, requests: Iterable[Request]) -> SimulationResult:
         """Service ``requests`` on a fresh controller and account energy."""
         controller = MemoryController(
-            self.organization, self.timings, self.architecture)
+            self.organization, self.timings, self.architecture,
+            config=self.controller)
         trace = controller.run(requests)
         accountant = EnergyAccountant(
             self.energy_model,

@@ -1,8 +1,27 @@
-"""Shared fixtures for the repro test suite."""
+"""Shared fixtures and hypothesis profiles for the repro test suite."""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
+
+# ----------------------------------------------------------------------
+# Hypothesis profiles
+# ----------------------------------------------------------------------
+# ``ci`` is fully derandomized: the same examples run on every commit,
+# so a red CI bisects to the code change, never to the seed.  ``dev``
+# (the default) keeps random exploration for local runs.  Select with
+# HYPOTHESIS_PROFILE=ci (the GitHub workflow does).
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 from repro.cnn.models import alexnet, tiny_test_network
 from repro.dram.architecture import ALL_ARCHITECTURES, DRAMArchitecture

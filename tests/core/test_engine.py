@@ -320,3 +320,66 @@ class TestParetoAccumulator:
         assert acc.add(ObjectivePoint(1.0, 1.0))
         assert not acc.add(ObjectivePoint(2.0, 2.0))
         assert len(acc) == 1
+
+
+class TestControllerThreading:
+    """ControllerConfig must travel intact through the engine."""
+
+    def test_explicit_default_controller_is_identical(self, tiny_layer):
+        from repro.dram.policies import DEFAULT_CONTROLLER_CONFIG
+
+        implicit = explore_layer(tiny_layer)
+        explicit = explore_layer(
+            tiny_layer, controller=DEFAULT_CONTROLLER_CONFIG)
+        assert implicit.points == explicit.points
+
+    def test_controller_changes_the_numbers(self, tiny_layer):
+        from repro.dram.policies import controller_config
+
+        default = explore_layer(
+            tiny_layer, architectures=(DRAMArchitecture.DDR3,))
+        closed = explore_layer(
+            tiny_layer, architectures=(DRAMArchitecture.DDR3,),
+            controller=controller_config(row_policy="closed"))
+        assert default.best().edp_js != closed.best().edp_js
+
+    def test_parallel_workers_reconstruct_the_controller(self, tiny_layer):
+        from repro.dram.policies import controller_config
+
+        config = controller_config("fr-fcfs", "closed")
+        serial = explore_layer(
+            tiny_layer, jobs=1, controller=config)
+        parallel = explore_layer(
+            tiny_layer, jobs=2, chunk_size=7, controller=config)
+        assert parallel.points == serial.points
+
+    def test_context_pickles_the_controller(self, tiny_layer):
+        import pickle
+
+        from repro.core.engine import _build_context
+        from repro.cnn.tiling import TABLE2_BUFFERS
+        from repro.cnn.scheduling import ALL_SCHEMES
+        from repro.dram.policies import controller_config
+
+        config = controller_config("fr-fcfs")
+        context = _build_context(
+            [tiny_layer], (DRAMArchitecture.DDR3,), ALL_SCHEMES,
+            TABLE1_MAPPINGS, TABLE2_BUFFERS, None, None,
+            CharacterizationCache(), controller=config)
+        clone = pickle.loads(pickle.dumps(context))
+        assert clone.controller == config
+        assert clone.characterizations[
+            DRAMArchitecture.DDR3].controller == config
+
+    def test_cache_distinguishes_controllers(self, tiny_layer):
+        from repro.dram.policies import controller_config
+
+        cache = CharacterizationCache()
+        engine = ExplorationEngine(characterization_cache=cache)
+        engine.explore_layer(
+            tiny_layer, architectures=(DRAMArchitecture.DDR3,))
+        engine.explore_layer(
+            tiny_layer, architectures=(DRAMArchitecture.DDR3,),
+            controller=controller_config(row_policy="closed"))
+        assert len(cache) == 2
+        assert cache.stats.misses == 2

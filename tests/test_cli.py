@@ -269,3 +269,68 @@ class TestParser:
     def test_rejects_unknown_model(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["dse", "--model", "resnet-9000"])
+
+
+class TestControllerPolicies:
+    def test_policies_listing(self, capsys):
+        code, out = run_cli(capsys, "policies")
+        assert code == 0
+        for name in ("fcfs", "fr-fcfs", "open", "closed", "timeout"):
+            assert name in out
+
+    def test_default_flags_output_unchanged(self, capsys):
+        code, implicit = run_cli(capsys, "dse", "--model", "lenet5",
+                                 "--layer", "C1")
+        assert code == 0
+        code, explicit = run_cli(capsys, "dse", "--model", "lenet5",
+                                 "--layer", "C1", "--scheduler", "fcfs",
+                                 "--row-policy", "open")
+        assert code == 0
+        assert implicit == explicit
+
+    def test_non_default_config_flagged_in_title(self, capsys):
+        code, out = run_cli(capsys, "dse", "--model", "lenet5",
+                            "--layer", "C1", "--scheduler", "fr-fcfs",
+                            "--row-policy", "closed")
+        assert code == 0
+        assert "[fr-fcfs/closed]" in out
+
+    def test_characterize_accepts_policies(self, capsys):
+        code, default = run_cli(capsys, "characterize", "--arch", "DDR3")
+        assert code == 0
+        code, closed = run_cli(capsys, "characterize", "--arch", "DDR3",
+                               "--row-policy", "closed")
+        assert code == 0
+        assert default != closed
+
+    def test_edp_accepts_policies(self, capsys):
+        code, out = run_cli(capsys, "edp", "--model", "lenet5",
+                            "--layer", "C1", "--mapping", "3",
+                            "--scheduler", "fr-fcfs")
+        assert code == 0
+        assert "[fr-fcfs/open]" in out
+
+    def test_traffic_flags_do_not_change_bytes(self, capsys):
+        code, default = run_cli(capsys, "traffic", "--model", "lenet5")
+        assert code == 0
+        code, closed = run_cli(capsys, "traffic", "--model", "lenet5",
+                               "--row-policy", "closed")
+        assert code == 0
+        assert default == closed
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["dse", "--model", "lenet5", "--scheduler", "elevator"])
+
+    def test_dse_policy_variants_on_every_device(self, capsys):
+        """Acceptance: fr-fcfs/closed DSE runs on every registered
+        device profile."""
+        from repro.dram.device import device_names
+
+        for name in device_names():
+            code, out = run_cli(
+                capsys, "dse", "--model", "tiny", "--device", name,
+                "--scheduler", "fr-fcfs", "--row-policy", "closed")
+            assert code == 0
+            assert "TOTAL" in out
+            assert "[fr-fcfs/closed]" in out
