@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-devices bench-workloads bench-policies cov lint
+.PHONY: test bench bench-devices bench-workloads bench-policies \
+	bench-strategies cov cov-core lint
 
 ## tier-1 verification: the full unit/property/integration/benchmark suite
 test:
@@ -24,11 +25,23 @@ bench-workloads:
 bench-policies:
 	$(PYTHON) -m pytest benchmarks/test_perf_policies.py -q
 
+## funnel-strategy speedup gate (>=5x wall clock vs exhaustive on the
+## VGG-16 DSE at matched optimum, >=10x fewer exact evaluations)
+bench-strategies:
+	$(PYTHON) -m pytest benchmarks/test_perf_strategies.py -q
+
 ## line-coverage floor for the cycle-level DRAM model (requires
 ## pytest-cov; CI installs it)
 cov:
 	$(PYTHON) -m pytest tests/dram -q --cov=repro.dram \
 		--cov-report=term-missing --cov-fail-under=85
+
+## line-coverage floor for the exploration stack (engine, strategies,
+## sweeps, reporting; requires pytest-cov; CI installs it)
+cov-core:
+	$(PYTHON) -m pytest tests/core tests/integration -q \
+		--cov=repro.core --cov-report=term-missing \
+		--cov-fail-under=80
 
 ## byte-compile everything and make sure the test suite collects cleanly
 lint:

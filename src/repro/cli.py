@@ -12,11 +12,14 @@ Usage::
                         [--jobs N] [--chunk-size M] [--device NAME]
                         [--batch B] [--bytes-per-element N]
                         [--scheduler NAME] [--row-policy NAME]
+                        [--strategy NAME] [--seed S] [--funnel-topk PCT]
     python -m repro traffic --model alexnet [--device NAME] [--batch B]
                             [--bytes-per-element N]
     python -m repro models [--detail] [--model NAME]
     python -m repro devices
     python -m repro policies
+    python -m repro strategies
+    python -m repro cache {stats,clear} [--cache-dir DIR]
 
 Each subcommand prints the same plain-text tables the benchmark
 harness produces, so the paper's experiments are reachable without
@@ -55,6 +58,23 @@ interface uniformity but its byte counts never change.
 ``--chunk-size M``
     Grid points per shard (default 256).  Smaller chunks smooth load
     balancing across workers; larger chunks cut scheduling overhead.
+``--strategy NAME``
+    Search strategy over the grid (see ``repro strategies``).  The
+    default ``exhaustive`` evaluates every point and its output is
+    byte-identical to the pre-strategy CLI; ``funnel`` prunes with
+    the closed-form analytical cost model and exactly re-evaluates
+    only the top ``--funnel-topk`` percent per layer; ``random`` /
+    ``greedy-refine`` are seeded heuristics (``--seed``).
+    Non-exhaustive runs are tagged in the table title and followed by
+    a one-line evaluation-count summary.
+
+Characterizations are persisted to an on-disk store (default
+``~/.cache/repro``, override with ``--cache-dir`` or the
+``REPRO_CACHE_DIR`` environment variable) keyed by a hash of the full
+device/architecture/controller spec, so repeated CLI runs warm-start
+instead of re-simulating; ``--no-disk-cache`` disables it and ``repro
+cache {stats,clear}`` inspects or empties it.  Results are identical
+with and without the store.
 """
 
 from __future__ import annotations
@@ -112,6 +132,38 @@ def _controller(args: argparse.Namespace) -> ControllerConfig:
         row_policy=getattr(args, "row_policy", "open"))
 
 
+def _configure_store(args: argparse.Namespace):
+    """Attach (or detach) the on-disk store per the cache flags.
+
+    Returns the attached
+    :class:`repro.dram.store.CharacterizationStore` or ``None`` when
+    ``--no-disk-cache`` was given.  The store only affects wall-clock
+    time; command output is identical either way.
+    """
+    from .dram.characterize import DEFAULT_CHARACTERIZATION_CACHE
+    from .dram.store import CharacterizationStore
+
+    store = None
+    if not getattr(args, "no_disk_cache", False):
+        store = CharacterizationStore(getattr(args, "cache_dir", None))
+    DEFAULT_CHARACTERIZATION_CACHE.attach_store(store)
+    return store
+
+
+def _strategy_options(args: argparse.Namespace):
+    """``(strategy, seed, options)`` from the dse flags."""
+    strategy = getattr(args, "strategy", "exhaustive")
+    seed = getattr(args, "seed", None)
+    topk = getattr(args, "funnel_topk", 5.0)
+    if not 0.0 < topk <= 100.0:
+        raise SystemExit(
+            f"--funnel-topk must be in (0, 100], got {topk}")
+    options = {}
+    if strategy == "funnel":
+        options["top_fraction"] = topk / 100.0
+    return strategy, seed, options
+
+
 def _title_suffix(config: ControllerConfig) -> str:
     """Table-title tag for non-default controller configurations.
 
@@ -154,6 +206,7 @@ def _layers(args: argparse.Namespace):
 
 def cmd_characterize(args: argparse.Namespace) -> int:
     """Print the Fig.-1 per-condition costs."""
+    _configure_store(args)
     requested = _architecture(args.arch) if args.arch else None
     config = _controller(args)
     if args.device == "all":
@@ -195,6 +248,7 @@ def cmd_characterize(args: argparse.Namespace) -> int:
 
 def cmd_edp(args: argparse.Namespace) -> int:
     """Per-mapping EDP for one layer (best tiling each)."""
+    _configure_store(args)
     architecture = _architecture(args.arch)
     device = _device(args.device)
     device.require_architecture(architecture)
@@ -230,10 +284,12 @@ def cmd_dse(args: argparse.Namespace) -> int:
     """Algorithm 1: min-EDP design point per layer."""
     from .core.engine import DEFAULT_CHUNK_SIZE, ExplorationEngine
 
+    _configure_store(args)
     architecture = _architecture(args.arch)
     device = _device(args.device)
     device.require_architecture(architecture)
     config = _controller(args)
+    strategy, seed, options = _strategy_options(args)
     if args.jobs < 0:
         raise SystemExit(f"--jobs must be >= 0, got {args.jobs}")
     if args.chunk_size is not None and args.chunk_size <= 0:
@@ -242,15 +298,24 @@ def cmd_dse(args: argparse.Namespace) -> int:
     engine = ExplorationEngine(
         jobs=args.jobs,
         chunk_size=(args.chunk_size if args.chunk_size is not None
-                    else DEFAULT_CHUNK_SIZE))
+                    else DEFAULT_CHUNK_SIZE),
+        strategy=strategy,
+        seed=seed,
+        strategy_options=options)
     rows = []
     total = 0.0
+    evaluated = 0
+    scored = 0
+    grid_points = 0
     for layer in _layers(args):
         result = explore_layer(
             layer, architectures=(architecture,), engine=engine,
             device=device, controller=config)
         best = result.best()
         total += best.edp_js
+        evaluated += result.evaluated_points
+        scored += result.scored_points
+        grid_points += result.total_points
         tiling = best.tiling
         rows.append([
             layer.name, best.policy.name,
@@ -259,11 +324,25 @@ def cmd_dse(args: argparse.Namespace) -> int:
             f"{best.edp_js:.3e}",
         ])
     rows.append(["TOTAL", "", "", "", f"{total:.3e}"])
+    # The default exhaustive strategy keeps the title byte-identical
+    # to the pre-strategy CLI; heuristic runs are tagged and
+    # summarized.
+    strategy_suffix = "" if strategy == "exhaustive" \
+        else f" [strategy: {strategy}]"
     print(format_table(
         ["layer", "mapping", "schedule", "tiling Th/Tw/Tj/Ti",
          "min EDP [J*s]"],
         rows, title=f"Algorithm 1 on {architecture.value} "
-                    f"({device.name})" + _title_suffix(config)))
+                    f"({device.name})" + _title_suffix(config)
+                    + strategy_suffix))
+    if strategy != "exhaustive":
+        line = (f"strategy {strategy}: {evaluated}/{grid_points} design "
+                f"points evaluated exactly")
+        if scored:
+            line += f", {scored} scored analytically"
+        if seed is not None:
+            line += f", seed {seed}"
+        print(line)
     return 0
 
 
@@ -351,6 +430,42 @@ def cmd_policies(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_strategies(args: argparse.Namespace) -> int:
+    """List the registered DSE search strategies."""
+    from .core.strategies import strategy_summaries
+
+    del args
+    rows = [[name, summary]
+            for name, summary in strategy_summaries().items()]
+    print(format_table(
+        ["strategy", "purpose"], rows,
+        title="Registered DSE search strategies"))
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or empty the on-disk characterization store."""
+    from .dram.store import CharacterizationStore
+    from .units import format_bytes as _fmt
+
+    store = CharacterizationStore(args.cache_dir)
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached characterization(s) from "
+              f"{store.root}")
+        return 0
+    stats = store.stats()
+    rows = [
+        ["root", stats.root],
+        ["entries", str(stats.entries)],
+        ["size", _fmt(stats.total_bytes)],
+    ]
+    print(format_table(
+        ["field", "value"], rows,
+        title="On-disk characterization store"))
+    return 0
+
+
 def cmd_devices(args: argparse.Namespace) -> int:
     """List the registered DRAM device profiles."""
     del args
@@ -398,6 +513,18 @@ def build_parser() -> argparse.ArgumentParser:
             help="row-buffer policy (default: open, the paper's "
                  "Table-II policy)")
 
+    def add_cache_arguments(subparser: argparse.ArgumentParser) -> None:
+        """``--cache-dir``/``--no-disk-cache`` pair."""
+        subparser.add_argument(
+            "--cache-dir", dest="cache_dir", default=None,
+            help="on-disk characterization store directory (default: "
+                 "$REPRO_CACHE_DIR or ~/.cache/repro)")
+        subparser.add_argument(
+            "--no-disk-cache", dest="no_disk_cache",
+            action="store_true",
+            help="do not read or write the on-disk characterization "
+                 "store")
+
     p_char = subparsers.add_parser(
         "characterize", help="print the Fig.-1 per-condition costs")
     p_char.add_argument("--arch", default=None,
@@ -408,6 +535,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "registered device (default: "
                              "ddr3-1600-2gb-x8)")
     add_controller_arguments(p_char)
+    add_cache_arguments(p_char)
     p_char.set_defaults(func=cmd_characterize)
 
     def add_workload_arguments(subparser: argparse.ArgumentParser
@@ -442,6 +570,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="device profile name (default: "
                             "ddr3-1600-2gb-x8)")
     add_controller_arguments(p_edp)
+    add_cache_arguments(p_edp)
     p_edp.set_defaults(func=cmd_edp)
 
     p_dse = subparsers.add_parser(
@@ -460,6 +589,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="device profile name (default: "
                             "ddr3-1600-2gb-x8)")
     add_controller_arguments(p_dse)
+    add_cache_arguments(p_dse)
+    from .core.strategies import strategy_names
+
+    p_dse.add_argument(
+        "--strategy", default="exhaustive",
+        choices=strategy_names(),
+        help="search strategy over the design grid (default: "
+             "exhaustive, the paper's Algorithm 1; see 'repro "
+             "strategies')")
+    p_dse.add_argument(
+        "--seed", type=int, default=None,
+        help="seed of the strategy's randomized choices (default: "
+             "the strategy's deterministic default, 0)")
+    p_dse.add_argument(
+        "--funnel-topk", dest="funnel_topk", type=float, default=5.0,
+        help="funnel strategy: percentage of each layer's grid "
+             "re-evaluated exactly after analytical pruning "
+             "(default: 5)")
     p_dse.set_defaults(func=cmd_dse)
 
     p_traffic = subparsers.add_parser(
@@ -489,6 +636,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_policies = subparsers.add_parser(
         "policies", help="list registered memory-controller policies")
     p_policies.set_defaults(func=cmd_policies)
+
+    p_strategies = subparsers.add_parser(
+        "strategies", help="list registered DSE search strategies")
+    p_strategies.set_defaults(func=cmd_strategies)
+
+    p_cache = subparsers.add_parser(
+        "cache", help="inspect or empty the on-disk characterization "
+                      "store")
+    p_cache.add_argument("action", choices=("stats", "clear"),
+                         help="'stats' prints the store contents; "
+                              "'clear' deletes every entry")
+    p_cache.add_argument(
+        "--cache-dir", dest="cache_dir", default=None,
+        help="store directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)")
+    p_cache.set_defaults(func=cmd_cache)
 
     return parser
 

@@ -60,9 +60,32 @@ class DsePoint:
 
 @dataclass
 class DseResult:
-    """Full exploration record for one layer (or one network layer set)."""
+    """Full exploration record for one layer (or one network layer set).
+
+    Besides the evaluated ``points``, the record carries the search
+    provenance: which strategy produced it, under which seed, how
+    large the full grid was (``total_points``), how many points were
+    evaluated with exact characterization (``evaluated_points``) and
+    how many were scored by the closed-form analytical model
+    (``scored_points``; the funnel's phase 1).  Under the default
+    exhaustive strategy ``evaluated_points == total_points`` and
+    ``scored_points == 0``.  Records built by pre-strategy callers
+    (``DseResult()``) default to exhaustive with zero counts.
+    """
 
     points: List[DsePoint] = field(default_factory=list)
+    strategy: str = "exhaustive"
+    seed: Optional[int] = None
+    total_points: int = 0
+    evaluated_points: int = 0
+    scored_points: int = 0
+
+    @property
+    def exact_evaluation_fraction(self) -> float:
+        """Fraction of the grid evaluated exactly (1.0 if unknown)."""
+        if not self.total_points:
+            return 1.0
+        return self.evaluated_points / self.total_points
 
     def best(
         self,
@@ -102,8 +125,17 @@ class DseResult:
         return [point for point in self.points if keep(point)]
 
     def extend(self, other: "DseResult") -> None:
-        """Merge another exploration record into this one."""
+        """Merge another exploration record into this one.
+
+        Evaluation counts accumulate; the strategy label is kept when
+        both records agree and becomes ``"mixed"`` otherwise.
+        """
         self.points.extend(other.points)
+        self.total_points += other.total_points
+        self.evaluated_points += other.evaluated_points
+        self.scored_points += other.scored_points
+        if self.strategy != other.strategy:
+            self.strategy = "mixed"
 
 
 def _engine_for(jobs, chunk_size, engine):
@@ -131,6 +163,9 @@ def explore_layer(
     engine=None,
     device: Optional[DeviceProfile] = None,
     controller: Optional[ControllerConfig] = None,
+    strategy=None,
+    seed: Optional[int] = None,
+    strategy_options: Optional[dict] = None,
 ) -> DseResult:
     """Algorithm 1 for one layer: evaluate every admissible combination.
 
@@ -154,13 +189,20 @@ def explore_layer(
         Memory-controller configuration (scheduler + row policy) the
         characterizations are measured under (default: the paper's
         FCFS/open-row Table-II controller).
+    strategy / seed / strategy_options:
+        Search strategy (a registered name — ``exhaustive``,
+        ``random``, ``greedy-refine``, ``funnel`` — or a
+        :class:`repro.core.strategies.SearchStrategy` instance), the
+        seed of its randomized choices, and its constructor options.
+        ``None`` uses the engine's default (exhaustive).
     """
     eng = _engine_for(jobs, chunk_size, engine)
     tilings_seq = None if tilings is None else list(tilings)
     return eng.explore_layer(
         layer, architectures=architectures, schemes=schemes,
         policies=policies, buffers=buffers, organization=organization,
-        tilings=tilings_seq, device=device, controller=controller)
+        tilings=tilings_seq, device=device, controller=controller,
+        strategy=strategy, seed=seed, strategy_options=strategy_options)
 
 
 def explore_network(
@@ -177,7 +219,9 @@ def explore_network(
     loop nests first (traffic-only graph ops contribute no design
     points).  The whole ``layer x architecture x scheme x policy x
     tiling`` grid is sharded as one unit, so with ``jobs > 1`` small
-    layers do not serialize behind large ones.
+    layers do not serialize behind large ones.  ``strategy`` /
+    ``seed`` / ``strategy_options`` select the search strategy as in
+    :func:`explore_layer`.
     """
     eng = _engine_for(jobs, chunk_size, engine)
     return eng.explore_network(layers, **kwargs)

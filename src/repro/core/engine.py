@@ -30,6 +30,13 @@ intermediate per point.  This module is the scalable replacement:
    Pareto front as they arrive, so arbitrarily large sweeps run in
    memory bounded by the front and the reduction keys, not the point
    count.
+5. **Pluggable search** — the engine drives a registered
+   :class:`repro.core.strategies.SearchStrategy` (``strategy=`` /
+   ``seed=``) instead of hard-coding the grid walk.  The default
+   ``exhaustive`` strategy reproduces the full sweep byte-identically;
+   ``random`` / ``greedy-refine`` / ``funnel`` trade exact coverage
+   for speed, re-using the same sharded executors, and every
+   :class:`~repro.core.dse.DseResult` records its search provenance.
 
 Determinism guarantees
 ----------------------
@@ -105,11 +112,17 @@ from .adaptive import resolve_adaptive
 from .dse import DsePoint, DseResult
 from .edp import layer_edp
 from .pareto import ObjectivePoint, ParetoAccumulator
+from .strategies import StrategyRun, get_strategy
 
 #: Default points per shard.  Large enough that inter-process message
 #: overhead is negligible, small enough that progress ticks regularly
 #: and merge buffers stay shallow.
 DEFAULT_CHUNK_SIZE = 256
+
+#: Process-wide memo of admissible tilings per (layer, buffers): the
+#: buffer-maximal enumeration is pure and dominates context builds on
+#: big networks.
+_ADMISSIBLE_TILINGS_MEMO = LRUMemo(4096)
 
 
 # ----------------------------------------------------------------------
@@ -215,6 +228,12 @@ class ExplorationContext:
     #: measured under; pickled with the context so worker processes
     #: share the exact controller provenance.
     controller: ControllerConfig = DEFAULT_CONTROLLER_CONFIG
+    #: Search strategy driving the exploration (provenance: shipped to
+    #: workers and recorded on the result).
+    strategy: str = "exhaustive"
+    #: Seed of the strategy's randomized choices (``None``: the
+    #: strategy default).
+    seed: Optional[int] = None
 
     @property
     def organization(self) -> DRAMOrganization:
@@ -233,6 +252,10 @@ class ExplorationContext:
         return (len(self.architectures) * len(self.schemes)
                 * len(self.policies) * len(grid.tilings))
 
+    def points_in_layer(self, layer_pos: int) -> int:
+        """Number of grid points of the ``layer_pos``-th layer."""
+        return self._points_per_layer(self.layers[layer_pos])
+
     def decode(self, index: int) -> Tuple[
             ConvLayer, DRAMArchitecture, ReuseScheme, MappingPolicy,
             TilingConfig]:
@@ -247,6 +270,22 @@ class ExplorationContext:
                 self.schemes[scheme_idx], self.policies[policy_idx],
                 grid.tilings[tiling_idx])
 
+    def encode(
+        self,
+        layer_pos: int,
+        arch_idx: int,
+        scheme_idx: int,
+        policy_idx: int,
+        tiling_idx: int,
+    ) -> int:
+        """Flattened grid index of a design point (:meth:`decode` inverse)."""
+        grid = self.layers[layer_pos]
+        local = arch_idx
+        local = local * len(self.schemes) + scheme_idx
+        local = local * len(self.policies) + policy_idx
+        local = local * len(grid.tilings) + tiling_idx
+        return grid.offset + local
+
 
 def _build_context(
     layers,  # Sequence[ConvLayer] or Network
@@ -259,6 +298,8 @@ def _build_context(
     characterization_cache: CharacterizationCache,
     device: Optional[DeviceProfile] = None,
     controller: Optional[ControllerConfig] = None,
+    strategy: str = "exhaustive",
+    seed: Optional[int] = None,
 ) -> ExplorationContext:
     """Validate the grid and pre-compute everything shards share.
 
@@ -285,15 +326,22 @@ def _build_context(
     per_point = len(architectures) * len(schemes) * len(policies)
     for layer in layers:
         if tilings is None:
-            candidates: Sequence[TilingConfig] = enumerate_tilings(
-                layer, buffers)
+            # Candidate enumeration is pure in (layer, buffers) and by
+            # far the most expensive part of context construction on
+            # big networks; memoize it so repeated explorations (and
+            # the funnel's two phases) enumerate once.
+            admissible: Tuple[TilingConfig, ...] = \
+                _ADMISSIBLE_TILINGS_MEMO.get_or_compute(
+                    (layer, buffers),
+                    lambda: tuple(enumerate_tilings(layer, buffers)))
         else:
             candidates = list(tilings)
             if not candidates:
                 raise DseError(
                     f"no candidate tilings provided for {layer.name}")
-        admissible = tuple(
-            tiling for tiling in candidates if tiling.fits(layer, buffers))
+            admissible = tuple(
+                tiling for tiling in candidates
+                if tiling.fits(layer, buffers))
         if not admissible or per_point == 0:
             raise DseError(
                 f"no tiling of {layer.name} satisfies the buffer constraint")
@@ -315,6 +363,8 @@ def _build_context(
         offsets=tuple(grid.offset for grid in grids),
         workload=workload,
         controller=config,
+        strategy=strategy,
+        seed=seed,
     )
 
 
@@ -494,6 +544,21 @@ class ExplorationEngine:
         process-wide shared cache.
     progress:
         Optional :data:`ProgressCallback` invoked after every chunk.
+    strategy:
+        Default search strategy for this engine's explorations: a
+        registered name (see
+        :func:`repro.core.strategies.strategy_names`) or a pre-built
+        :class:`~repro.core.strategies.SearchStrategy`.  The default
+        ``"exhaustive"`` evaluates the full grid, byte-identical to
+        the pre-strategy engine.
+    seed:
+        Default seed for randomized strategies (``None``: the
+        strategy's deterministic default, 0).
+    strategy_options:
+        Keyword options for the default strategy (e.g.
+        ``{"top_fraction": 0.02}`` for ``funnel``); must be omitted
+        when ``strategy`` is a pre-built instance (configure the
+        instance directly instead).
 
     Example
     -------
@@ -510,6 +575,9 @@ class ExplorationEngine:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         characterization_cache: Optional[CharacterizationCache] = None,
         progress: Optional[ProgressCallback] = None,
+        strategy="exhaustive",
+        seed: Optional[int] = None,
+        strategy_options: Optional[Dict] = None,
     ) -> None:
         if jobs is None or jobs == 0:
             jobs = os.cpu_count() or 1
@@ -525,9 +593,28 @@ class ExplorationEngine:
             if characterization_cache is not None
             else DEFAULT_CHARACTERIZATION_CACHE)
         self.progress = progress
+        self.strategy = strategy
+        self.seed = seed
+        self.strategy_options = dict(strategy_options or {})
+        # Fail fast on unknown names / bad options.
+        get_strategy(self.strategy, **self.strategy_options)
         #: Serial-path evaluation memo; persists across explore calls
         #: so network-level sweeps reuse layer-level intermediates.
         self.evaluation_cache = EvaluationCache()
+
+    def _resolve_strategy(
+        self,
+        strategy,
+        seed: Optional[int],
+        strategy_options: Optional[Dict],
+    ):
+        """Per-call strategy resolution (``None`` = engine default)."""
+        if strategy is None:
+            strategy = self.strategy
+            if strategy_options is None:
+                strategy_options = self.strategy_options
+        resolved = get_strategy(strategy, **(strategy_options or {}))
+        return resolved, (self.seed if seed is None else seed)
 
     # -- public API ----------------------------------------------------
 
@@ -542,12 +629,17 @@ class ExplorationEngine:
         tilings: Optional[Sequence[TilingConfig]] = None,
         device: Optional[DeviceProfile] = None,
         controller: Optional[ControllerConfig] = None,
+        strategy=None,
+        seed: Optional[int] = None,
+        strategy_options: Optional[Dict] = None,
     ) -> DseResult:
         """Algorithm 1 for one layer; full exploration record."""
         return self.explore_network(
             [layer], architectures=architectures, schemes=schemes,
             policies=policies, buffers=buffers, organization=organization,
-            tilings=tilings, device=device, controller=controller)
+            tilings=tilings, device=device, controller=controller,
+            strategy=strategy, seed=seed,
+            strategy_options=strategy_options)
 
     def explore_network(
         self,
@@ -560,6 +652,9 @@ class ExplorationEngine:
         tilings: Optional[Sequence[TilingConfig]] = None,
         device: Optional[DeviceProfile] = None,
         controller: Optional[ControllerConfig] = None,
+        strategy=None,
+        seed: Optional[int] = None,
+        strategy_options: Optional[Dict] = None,
     ) -> DseResult:
         """Algorithm 1 over all layers; full exploration record.
 
@@ -571,18 +666,29 @@ class ExplorationEngine:
         device); every architecture in ``architectures`` must be in
         its capability set.  ``controller`` selects the
         memory-controller configuration the characterizations are
-        measured under (default: the paper's FCFS/open-row).  The
-        returned points are in the serial nested-loop order regardless
-        of ``jobs``.
+        measured under (default: the paper's FCFS/open-row).
+        ``strategy`` / ``seed`` / ``strategy_options`` override the
+        engine's search strategy for this call; under the default
+        exhaustive strategy the returned points are in the serial
+        nested-loop order regardless of ``jobs``, and subset
+        strategies return their evaluated points in the same order.
+        The result records the strategy, seed and evaluation counts.
         """
-        context = _build_context(
+        search, run, shard_iter = self._start(
             layers, architectures, schemes, policies, buffers,
-            organization, tilings, self.characterization_cache,
-            device=device, controller=controller)
+            organization, tilings, device, controller,
+            strategy, seed, strategy_options)
         shards: Dict[int, List[DsePoint]] = {}
-        for start, points in self._shard_results(context):
+        for start, points in shard_iter:
+            run.exact_points += len(points)
             shards[start] = points
-        result = DseResult()
+        result = DseResult(
+            strategy=run.strategy,
+            seed=run.seed,
+            total_points=run.total_points,
+            evaluated_points=run.exact_points,
+            scored_points=run.scored_points,
+        )
         for start in sorted(shards):
             result.points.extend(shards[start])
         return result
@@ -598,21 +704,62 @@ class ExplorationEngine:
         tilings: Optional[Sequence[TilingConfig]] = None,
         device: Optional[DeviceProfile] = None,
         controller: Optional[ControllerConfig] = None,
+        strategy=None,
+        seed: Optional[int] = None,
+        strategy_options: Optional[Dict] = None,
     ) -> ReducedExploration:
         """Bounded-memory exploration: stream shards into minima.
 
         Use this instead of :meth:`explore_network` when the grid is
         too large to keep every :class:`DsePoint`; only the per-key
-        minima and the Pareto front are retained.
+        minima and the Pareto front are retained.  Works with every
+        search strategy (shards stream into the reduction as they
+        arrive).
         """
+        _search, run, shard_iter = self._start(
+            layers, architectures, schemes, policies, buffers,
+            organization, tilings, device, controller,
+            strategy, seed, strategy_options)
+        reduced = ReducedExploration()
+        for start, points in shard_iter:
+            run.exact_points += len(points)
+            reduced.absorb(start, points)
+        return reduced
+
+    def _start(
+        self,
+        layers,
+        architectures,
+        schemes,
+        policies,
+        buffers,
+        organization,
+        tilings,
+        device,
+        controller,
+        strategy,
+        seed,
+        strategy_options,
+    ):
+        """Common front half of the explore methods.
+
+        Resolves the strategy, builds the context (with strategy
+        provenance embedded) and returns ``(strategy, run,
+        shard_iterator)``.
+        """
+        search, run_seed = self._resolve_strategy(
+            strategy, seed, strategy_options)
         context = _build_context(
             layers, architectures, schemes, policies, buffers,
             organization, tilings, self.characterization_cache,
-            device=device, controller=controller)
-        reduced = ReducedExploration()
-        for start, points in self._shard_results(context):
-            reduced.absorb(start, points)
-        return reduced
+            device=device, controller=controller,
+            strategy=search.name, seed=run_seed)
+        run = StrategyRun(
+            strategy=search.name,
+            seed=run_seed,
+            total_points=context.total_points,
+        )
+        return search, run, search.shards(self, context, run)
 
     # -- scheduling ----------------------------------------------------
 
@@ -624,9 +771,54 @@ class ExplorationEngine:
         self,
         context: ExplorationContext,
     ) -> Iterator[Tuple[int, List[DsePoint]]]:
-        """Yield ``(start, points)`` per shard, ticking progress."""
+        """Yield ``(start, points)`` for the full grid, ticking progress.
+
+        The exhaustive strategy's executor — byte-identical shard
+        order and contents to the pre-strategy engine.
+        """
         total = context.total_points
         total_chunks = -(-total // self.chunk_size) if total else 0
+        return self._execute_shards(
+            context, self._chunks(total), total, total_chunks)
+
+    def _evaluate_selected(
+        self,
+        context: ExplorationContext,
+        indices: Sequence[int],
+    ) -> Iterator[Tuple[int, List[DsePoint]]]:
+        """Yield shards covering exactly ``indices`` (sorted, unique).
+
+        Consecutive indices coalesce into contiguous ``(start, stop)``
+        ranges, re-split at ``chunk_size``, and run through the same
+        serial / process-pool machinery as the full grid — so subset
+        strategies inherit ``jobs`` parallelism and progress
+        streaming (progress totals count the selection, not the
+        grid).
+        """
+        shards: List[Tuple[int, int]] = []
+        position = 0
+        while position < len(indices):
+            stop = position + 1
+            while stop < len(indices) \
+                    and indices[stop] == indices[stop - 1] + 1:
+                stop += 1
+            start_index = indices[position]
+            stop_index = indices[stop - 1] + 1
+            for piece in range(start_index, stop_index, self.chunk_size):
+                shards.append(
+                    (piece, min(piece + self.chunk_size, stop_index)))
+            position = stop
+        return self._execute_shards(
+            context, iter(shards), len(indices), len(shards))
+
+    def _execute_shards(
+        self,
+        context: ExplorationContext,
+        shards: Iterator[Tuple[int, int]],
+        total_points: int,
+        total_chunks: int,
+    ) -> Iterator[Tuple[int, List[DsePoint]]]:
+        """Evaluate ``(start, stop)`` shards, ticking progress."""
         completed_points = 0
         completed_chunks = 0
         best_edp: Optional[float] = None
@@ -641,14 +833,14 @@ class ExplorationEngine:
             if self.progress is not None:
                 self.progress(ExplorationProgress(
                     completed_points=completed_points,
-                    total_points=total,
+                    total_points=total_points,
                     completed_chunks=completed_chunks,
                     total_chunks=total_chunks,
                     best_edp_js=best_edp,
                 ))
 
         if self.jobs == 1:
-            for start, stop in self._chunks(total):
+            for start, stop in shards:
                 points = _evaluate_range(
                     context, self.evaluation_cache, start, stop)
                 tick(points)
@@ -663,9 +855,8 @@ class ExplorationEngine:
                 initializer=_init_worker,
                 initargs=(context,)) as pool:
             pending = set()
-            chunks = self._chunks(total)
             window = self.jobs * 4
-            for chunk in itertools.islice(chunks, window):
+            for chunk in itertools.islice(shards, window):
                 pending.add(pool.submit(_run_chunk, chunk))
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
@@ -673,5 +864,26 @@ class ExplorationEngine:
                     start, points = future.result()
                     tick(points)
                     yield start, points
-                for chunk in itertools.islice(chunks, len(done)):
+                for chunk in itertools.islice(shards, len(done)):
                     pending.add(pool.submit(_run_chunk, chunk))
+
+    def point_evaluator(self, context: ExplorationContext):
+        """In-process, memoized single-point evaluator.
+
+        Returns ``evaluate(index) -> DsePoint`` with an ``evaluate.cache``
+        dict of every point evaluated so far — the probe primitive of
+        adaptive strategies (``greedy-refine``), which evaluate points
+        one at a time as the search unfolds.
+        """
+        cache: Dict[int, DsePoint] = {}
+
+        def evaluate(index: int) -> DsePoint:
+            point = cache.get(index)
+            if point is None:
+                point = _evaluate_range(
+                    context, self.evaluation_cache, index, index + 1)[0]
+                cache[index] = point
+            return point
+
+        evaluate.cache = cache
+        return evaluate

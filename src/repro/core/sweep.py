@@ -83,8 +83,21 @@ def _min_edp(
     scheme: ReuseScheme,
     organization: Optional[DRAMOrganization] = None,
     controller: Optional[ControllerConfig] = None,
+    strategy=None,
+    seed: Optional[int] = None,
 ) -> float:
     profile = resolve_device(device, organization)
+    if strategy is not None and strategy != "exhaustive":
+        # Non-exhaustive search: route the one-policy slice through
+        # the strategy-driven engine (the funnel/random/greedy floors
+        # keep even these small grids meaningfully covered).
+        from .dse import explore_layer
+
+        result = explore_layer(
+            layer, architectures=(architecture,), schemes=(scheme,),
+            policies=(policy,), buffers=buffers, device=profile,
+            controller=controller, strategy=strategy, seed=seed)
+        return result.best().edp_js
     characterization = characterize_cached(
         architecture, device=profile, controller=controller)
     cache = _evaluation_cache()
@@ -109,6 +122,8 @@ def sweep_subarrays(
     scheme: ReuseScheme = ReuseScheme.ADAPTIVE_REUSE,
     device: Optional[DeviceProfile] = None,
     controller: Optional[ControllerConfig] = None,
+    strategy=None,
+    seed: Optional[int] = None,
 ) -> List[SweepPoint]:
     """EDP vs subarrays-per-bank.
 
@@ -125,11 +140,11 @@ def sweep_subarrays(
             drmap_edp_js=_min_edp(
                 layer, DRMAP, architecture, profile,
                 TABLE2_BUFFERS, scheme, organization=organization,
-                controller=controller),
+                controller=controller, strategy=strategy, seed=seed),
             worst_edp_js=_min_edp(
                 layer, MAPPING_2, architecture, profile,
                 TABLE2_BUFFERS, scheme, organization=organization,
-                controller=controller),
+                controller=controller, strategy=strategy, seed=seed),
         ))
     return points
 
@@ -141,6 +156,8 @@ def sweep_buffers(
     scheme: ReuseScheme = ReuseScheme.ADAPTIVE_REUSE,
     device: Optional[DeviceProfile] = None,
     controller: Optional[ControllerConfig] = None,
+    strategy=None,
+    seed: Optional[int] = None,
 ) -> List[SweepPoint]:
     """EDP vs on-chip buffer capacity (all three buffers together)."""
     profile = resolve_device(device)
@@ -156,10 +173,11 @@ def sweep_buffers(
             value=size_kb,
             drmap_edp_js=_min_edp(
                 layer, DRMAP, architecture, profile, buffers, scheme,
-                controller=controller),
+                controller=controller, strategy=strategy, seed=seed),
             worst_edp_js=_min_edp(
                 layer, MAPPING_2, architecture, profile, buffers,
-                scheme, controller=controller),
+                scheme, controller=controller, strategy=strategy,
+                seed=seed),
         ))
     return points
 
@@ -171,6 +189,8 @@ def sweep_precision(
     scheme: ReuseScheme = ReuseScheme.ADAPTIVE_REUSE,
     device: Optional[DeviceProfile] = None,
     controller: Optional[ControllerConfig] = None,
+    strategy=None,
+    seed: Optional[int] = None,
 ) -> List[SweepPoint]:
     """EDP vs data precision (int8 / fp16 / fp32 footprints).
 
@@ -185,10 +205,12 @@ def sweep_precision(
             value=bpe,
             drmap_edp_js=_min_edp(
                 layer, DRMAP, architecture, profile,
-                TABLE2_BUFFERS, scheme, controller=controller),
+                TABLE2_BUFFERS, scheme, controller=controller,
+                strategy=strategy, seed=seed),
             worst_edp_js=_min_edp(
                 layer, MAPPING_2, architecture, profile,
-                TABLE2_BUFFERS, scheme, controller=controller),
+                TABLE2_BUFFERS, scheme, controller=controller,
+                strategy=strategy, seed=seed),
         ))
     return points
 
@@ -200,6 +222,8 @@ def sweep_batch(
     scheme: ReuseScheme = ReuseScheme.ADAPTIVE_REUSE,
     device: Optional[DeviceProfile] = None,
     controller: Optional[ControllerConfig] = None,
+    strategy=None,
+    seed: Optional[int] = None,
 ) -> List[SweepPoint]:
     """EDP vs batch size (activations scale, weights amortize)."""
     profile = resolve_device(device)
@@ -211,10 +235,12 @@ def sweep_batch(
             value=batch,
             drmap_edp_js=_min_edp(
                 layer, DRMAP, architecture, profile,
-                TABLE2_BUFFERS, scheme, controller=controller),
+                TABLE2_BUFFERS, scheme, controller=controller,
+                strategy=strategy, seed=seed),
             worst_edp_js=_min_edp(
                 layer, MAPPING_2, architecture, profile,
-                TABLE2_BUFFERS, scheme, controller=controller),
+                TABLE2_BUFFERS, scheme, controller=controller,
+                strategy=strategy, seed=seed),
         ))
     return points
 
@@ -227,6 +253,8 @@ def sweep_network_batch(
     device: Optional[DeviceProfile] = None,
     buffers: BufferConfig = TABLE2_BUFFERS,
     controller: Optional[ControllerConfig] = None,
+    strategy=None,
+    seed: Optional[int] = None,
 ) -> List[SweepPoint]:
     """Network EDP vs batch size over a whole workload graph.
 
@@ -250,10 +278,11 @@ def sweep_network_batch(
         for layer in network.lower():
             drmap_total += _min_edp(
                 layer, DRMAP, architecture, profile, buffers, scheme,
-                controller=controller)
+                controller=controller, strategy=strategy, seed=seed)
             worst_total += _min_edp(
                 layer, MAPPING_2, architecture, profile, buffers,
-                scheme, controller=controller)
+                scheme, controller=controller, strategy=strategy,
+                seed=seed)
         points.append(SweepPoint(
             parameter=f"{network.name}:batch",
             value=batch,

@@ -7,6 +7,11 @@ and a current-based energy model integrates those traces.
 """
 
 from .address import Coordinate
+from .analytical import (
+    AnalyticalModel,
+    analytical_characterization,
+    compare_to_simulator,
+)
 from .architecture import (
     ALL_ARCHITECTURES,
     SALP_ARCHITECTURES,
@@ -24,9 +29,16 @@ from .characterize import (
     DEFAULT_CHARACTERIZATION_CACHE,
     characterize,
     characterize_all,
+    characterize_analytical,
     characterize_cached,
     characterize_device,
     characterize_preset,
+)
+from .store import (
+    CharacterizationStore,
+    StoreStats,
+    default_cache_dir,
+    spec_hash,
 )
 from .device import (
     DEFAULT_DEVICE_NAME,
@@ -83,10 +95,12 @@ __all__ = [
     "ALL_ARCHITECTURES",
     "ALL_CONDITIONS",
     "AccessCondition",
+    "AnalyticalModel",
     "ArchitectureBehavior",
     "CacheStats",
     "CharacterizationCache",
     "CharacterizationResult",
+    "CharacterizationStore",
     "Command",
     "CommandKind",
     "CommandTrace",
@@ -117,20 +131,26 @@ __all__ = [
     "SchedulerKind",
     "ServicedRequest",
     "SimulationResult",
+    "StoreStats",
     "TINY_ORGANIZATION",
     "TimingParameters",
     "TraceEnergy",
     "address_to_request",
     "all_controller_configs",
+    "analytical_characterization",
     "behavior_of",
     "characterize",
+    "compare_to_simulator",
     "controller_config",
     "characterize_all",
+    "characterize_analytical",
     "characterize_cached",
     "characterize_device",
     "characterize_preset",
+    "default_cache_dir",
     "default_device",
     "device_names",
+    "spec_hash",
     "get_device",
     "get_row_policy",
     "get_scheduler",

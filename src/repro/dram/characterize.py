@@ -316,9 +316,24 @@ class CharacterizationCache:
     (1, 1)
     """
 
-    def __init__(self, maxsize: int = 64) -> None:
+    def __init__(self, maxsize: int = 64, store=None) -> None:
         self._memo = LRUMemo(maxsize)
         self._per_device: Dict[str, List[int]] = {}
+        #: Optional :class:`repro.dram.store.CharacterizationStore`
+        #: consulted on in-memory misses and written after fresh
+        #: simulations.
+        self.store = store
+
+    def attach_store(self, store) -> None:
+        """Back this cache with an on-disk store (``None`` detaches).
+
+        ``store`` is a
+        :class:`repro.dram.store.CharacterizationStore` (or anything
+        with its ``load`` / ``save`` shape).  In-memory hits never
+        touch the disk; in-memory misses try the store before
+        simulating, and freshly simulated results are persisted.
+        """
+        self.store = store
 
     @property
     def maxsize(self) -> int:
@@ -374,10 +389,17 @@ class CharacterizationCache:
         config = resolve_controller(controller)
 
         def compute() -> CharacterizationResult:
+            if self.store is not None:
+                stored = self.store.load(profile, architecture, config)
+                if stored is not None:
+                    return stored
             simulator = DRAMSimulator.from_profile(
                 profile, architecture, controller=config)
-            return characterize(
+            result = characterize(
                 architecture, simulator=simulator, device=profile)
+            if self.store is not None:
+                self.store.save(result, profile, architecture, config)
+            return result
 
         result, hit = self._memo.get_or_compute_flagged(
             (profile, architecture, config), compute)
@@ -407,6 +429,28 @@ def characterize_cached(
     """
     return DEFAULT_CHARACTERIZATION_CACHE.get(
         architecture, organization, device=device, controller=controller)
+
+
+def characterize_analytical(
+    architecture: DRAMArchitecture,
+    organization: Optional[DRAMOrganization] = None,
+    device: Optional[DeviceProfile] = None,
+    controller: Optional[ControllerConfig] = None,
+) -> CharacterizationResult:
+    """Closed-form characterization (no simulation).
+
+    A drop-in sibling of :func:`characterize_cached` backed by the
+    analytical model of :mod:`repro.dram.analytical`: the returned
+    :class:`CharacterizationResult` has the exact same per-condition
+    shape, so every downstream consumer (``run_cost``, ``layer_edp``,
+    the DSE engine) is model-agnostic.  Used by the ``funnel`` search
+    strategy's pruning phase.
+    """
+    from .analytical import analytical_characterization
+
+    return analytical_characterization(
+        architecture, device=device, organization=organization,
+        controller=controller)
 
 
 def characterize_preset(architecture: DRAMArchitecture

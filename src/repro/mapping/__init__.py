@@ -22,9 +22,12 @@ from .dims import Dim, INTRA_CHIP_DIMS, OUTER_DIMS, dim_size
 from .counts import TransitionCounts, count_transitions
 from .policy import MappingPolicy
 from .search import (
+    COST_MODELS,
+    POLICY_FAMILIES,
     ScoredPolicy,
     all_permutation_policies,
     best_policy_for,
+    candidate_policies,
     narrowing_is_sound,
     rank_policies,
     row_outermost_policies,
@@ -37,10 +40,12 @@ from .walk import (
 )
 
 __all__ = [
+    "COST_MODELS",
     "DEFAULT_MAPPING",
     "DRMAP",
     "Dim",
     "INTRA_CHIP_DIMS",
+    "POLICY_FAMILIES",
     "MAPPING_1",
     "MAPPING_2",
     "MAPPING_3",
@@ -56,6 +61,7 @@ __all__ = [
     "WalkClassification",
     "all_permutation_policies",
     "best_policy_for",
+    "candidate_policies",
     "classify_walk",
     "count_transitions",
     "count_transitions_by_walk",

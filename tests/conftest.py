@@ -23,7 +23,25 @@ settings.register_profile(
 settings.register_profile("dev", deadline=None)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
-from repro.cnn.models import alexnet, tiny_test_network
+from repro.cnn.models import alexnet, tiny_test_network  # noqa: E402
+from repro.dram.store import CACHE_DIR_ENV  # noqa: E402
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_disk_cache(tmp_path_factory):
+    """Point the on-disk characterization store at a throwaway dir.
+
+    CLI commands attach the store by default; without this the test
+    suite would read and write the operator's real ``~/.cache/repro``.
+    """
+    previous = os.environ.get(CACHE_DIR_ENV)
+    os.environ[CACHE_DIR_ENV] = str(
+        tmp_path_factory.mktemp("characterization-store"))
+    yield
+    if previous is None:
+        os.environ.pop(CACHE_DIR_ENV, None)
+    else:
+        os.environ[CACHE_DIR_ENV] = previous
 from repro.dram.architecture import ALL_ARCHITECTURES, DRAMArchitecture
 from repro.dram.characterize import characterize_preset
 from repro.dram.presets import DDR3_1600_2GB_X8, TINY_ORGANIZATION

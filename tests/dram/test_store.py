@@ -1,0 +1,172 @@
+"""Tests for the persistent on-disk characterization store."""
+
+import dataclasses
+import json
+from importlib import import_module
+
+import pytest
+
+# ``repro.dram``'s __init__ rebinds the name ``characterize`` to the
+# function, so the module object must be fetched explicitly.
+characterize_module = import_module("repro.dram.characterize")
+from repro.dram.architecture import DRAMArchitecture
+from repro.dram.characterize import CharacterizationCache
+from repro.dram.device import TINY_DEVICE
+from repro.dram.policies import (
+    DEFAULT_CONTROLLER_CONFIG,
+    controller_config,
+)
+from repro.dram.store import (
+    CACHE_DIR_ENV,
+    CharacterizationStore,
+    default_cache_dir,
+    spec_hash,
+)
+
+DDR3 = DRAMArchitecture.DDR3
+SALP1 = DRAMArchitecture.SALP_1
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return CharacterizationStore(tmp_path / "store")
+
+
+@pytest.fixture()
+def result():
+    return CharacterizationCache().get(DDR3, device=TINY_DEVICE)
+
+
+class TestRoundTrip:
+    def test_save_then_load_is_equal(self, store, result):
+        store.save(result, TINY_DEVICE, DDR3, DEFAULT_CONTROLLER_CONFIG)
+        loaded = store.load(TINY_DEVICE, DDR3, DEFAULT_CONTROLLER_CONFIG)
+        assert loaded == result
+
+    def test_float_precision_survives_json(self, store, result):
+        store.save(result, TINY_DEVICE, DDR3, DEFAULT_CONTROLLER_CONFIG)
+        loaded = store.load(TINY_DEVICE, DDR3, DEFAULT_CONTROLLER_CONFIG)
+        for condition, cost in result.costs.items():
+            assert loaded.cost(condition).cycles == cost.cycles
+            assert loaded.cost(condition).read_energy_nj \
+                == cost.read_energy_nj
+
+    def test_missing_entry_is_none(self, store):
+        assert store.load(
+            TINY_DEVICE, DDR3, DEFAULT_CONTROLLER_CONFIG) is None
+        assert store.misses == 1
+
+
+class TestSpecHashInvalidation:
+    def test_architecture_changes_the_key(self):
+        base = spec_hash(TINY_DEVICE, DDR3, DEFAULT_CONTROLLER_CONFIG)
+        assert base != spec_hash(
+            TINY_DEVICE, SALP1, DEFAULT_CONTROLLER_CONFIG)
+
+    def test_controller_changes_the_key(self):
+        base = spec_hash(TINY_DEVICE, DDR3, DEFAULT_CONTROLLER_CONFIG)
+        assert base != spec_hash(
+            TINY_DEVICE, DDR3, controller_config(row_policy="closed"))
+
+    def test_any_timing_field_changes_the_key(self):
+        base = spec_hash(TINY_DEVICE, DDR3, DEFAULT_CONTROLLER_CONFIG)
+        retimed = dataclasses.replace(
+            TINY_DEVICE,
+            timings=dataclasses.replace(
+                TINY_DEVICE.timings, tRP=12, tRC=40))
+        assert base != spec_hash(
+            retimed, DDR3, DEFAULT_CONTROLLER_CONFIG)
+
+    def test_stale_entry_not_served_after_spec_change(
+            self, store, result):
+        store.save(result, TINY_DEVICE, DDR3, DEFAULT_CONTROLLER_CONFIG)
+        retimed = dataclasses.replace(
+            TINY_DEVICE,
+            timings=dataclasses.replace(
+                TINY_DEVICE.timings, tRCD=12, tRC=39))
+        assert store.load(
+            retimed, DDR3, DEFAULT_CONTROLLER_CONFIG) is None
+
+    def test_corrupted_entry_is_a_miss(self, store, result):
+        path = store.save(
+            result, TINY_DEVICE, DDR3, DEFAULT_CONTROLLER_CONFIG)
+        path.write_text("{not json", encoding="utf-8")
+        assert store.load(
+            TINY_DEVICE, DDR3, DEFAULT_CONTROLLER_CONFIG) is None
+
+    def test_tampered_spec_is_a_miss(self, store, result):
+        path = store.save(
+            result, TINY_DEVICE, DDR3, DEFAULT_CONTROLLER_CONFIG)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["spec"]["timings"]["tRP"] = 99
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert store.load(
+            TINY_DEVICE, DDR3, DEFAULT_CONTROLLER_CONFIG) is None
+
+
+class TestCacheIntegration:
+    def test_warm_start_skips_simulation(
+            self, store, monkeypatch):
+        first = CharacterizationCache(store=store)
+        original = first.get(DDR3, device=TINY_DEVICE)
+        assert store.writes == 1
+
+        # A fresh in-memory cache (a new process, in effect) must be
+        # served from disk without ever touching the simulator.
+        def boom(*args, **kwargs):
+            raise AssertionError("simulated despite a disk hit")
+
+        monkeypatch.setattr(characterize_module, "characterize", boom)
+        second = CharacterizationCache(store=store)
+        warm = second.get(DDR3, device=TINY_DEVICE)
+        assert warm == original
+        assert store.hits == 1
+
+    def test_in_memory_hits_never_touch_disk(self, store):
+        cache = CharacterizationCache(store=store)
+        cache.get(DDR3, device=TINY_DEVICE)
+        reads_before = store.hits + store.misses
+        cache.get(DDR3, device=TINY_DEVICE)
+        assert store.hits + store.misses == reads_before
+
+    def test_attach_detach(self, store):
+        cache = CharacterizationCache()
+        cache.attach_store(store)
+        cache.get(DDR3, device=TINY_DEVICE)
+        assert store.writes == 1
+        cache.attach_store(None)
+        cache.get(SALP1, device=TINY_DEVICE)
+        assert store.writes == 1
+
+    def test_results_identical_with_and_without_store(self, store):
+        plain = CharacterizationCache().get(DDR3, device=TINY_DEVICE)
+        stored = CharacterizationCache(store=store).get(
+            DDR3, device=TINY_DEVICE)
+        reloaded = CharacterizationCache(store=store).get(
+            DDR3, device=TINY_DEVICE)
+        assert plain == stored == reloaded
+
+
+class TestMaintenance:
+    def test_stats_and_clear(self, store, result):
+        store.save(result, TINY_DEVICE, DDR3, DEFAULT_CONTROLLER_CONFIG)
+        store.save(result, TINY_DEVICE, SALP1, DEFAULT_CONTROLLER_CONFIG)
+        stats = store.stats()
+        assert stats.entries == 2
+        assert stats.total_bytes > 0
+        assert stats.writes == 2
+        assert store.clear() == 2
+        assert store.stats().entries == 0
+
+    def test_default_root_honors_environment(self, tmp_path,
+                                             monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+        assert CharacterizationStore().root == tmp_path / "elsewhere"
+
+    def test_unwritable_root_degrades_gracefully(self, result):
+        store = CharacterizationStore("/proc/definitely/not/writable")
+        assert store.save(
+            result, TINY_DEVICE, DDR3, DEFAULT_CONTROLLER_CONFIG) is None
+        cache = CharacterizationCache(store=store)
+        assert cache.get(DDR3, device=TINY_DEVICE) is not None

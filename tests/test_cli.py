@@ -271,6 +271,131 @@ class TestParser:
             build_parser().parse_args(["dse", "--model", "resnet-9000"])
 
 
+class TestSearchStrategies:
+    def test_strategies_listing(self, capsys):
+        code, out = run_cli(capsys, "strategies")
+        assert code == 0
+        for name in ("exhaustive", "random", "greedy-refine", "funnel"):
+            assert name in out
+
+    def test_explicit_exhaustive_output_byte_identical(self, capsys):
+        code, default = run_cli(capsys, "dse", "--model", "lenet5",
+                                "--layer", "C1")
+        assert code == 0
+        code, explicit = run_cli(capsys, "dse", "--model", "lenet5",
+                                 "--layer", "C1",
+                                 "--strategy", "exhaustive")
+        assert code == 0
+        assert explicit == default
+        assert "strategy" not in default
+
+    def test_funnel_tagged_and_summarized(self, capsys):
+        code, out = run_cli(capsys, "dse", "--model", "lenet5",
+                            "--strategy", "funnel")
+        assert code == 0
+        assert "[strategy: funnel]" in out
+        assert "evaluated exactly" in out
+        assert "scored analytically" in out
+
+    def test_funnel_matches_exhaustive_total(self, capsys):
+        """The funnel's min-EDP table equals the exhaustive one."""
+        code, full = run_cli(capsys, "dse", "--model", "lenet5")
+        assert code == 0
+        code, funnel = run_cli(capsys, "dse", "--model", "lenet5",
+                               "--strategy", "funnel")
+        assert code == 0
+        full_rows = [line for line in full.splitlines()
+                     if line.startswith(("C", "F", "OUTPUT", "TOTAL"))]
+        funnel_rows = [line for line in funnel.splitlines()
+                       if line.startswith(("C", "F", "OUTPUT", "TOTAL"))]
+        assert funnel_rows == full_rows
+
+    def test_seed_reported_for_random(self, capsys):
+        code, out = run_cli(capsys, "dse", "--model", "lenet5",
+                            "--layer", "C1", "--strategy", "random",
+                            "--seed", "9")
+        assert code == 0
+        assert "seed 9" in out
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["dse", "--model", "lenet5", "--strategy", "psychic"])
+
+    def test_bad_funnel_topk_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["dse", "--model", "lenet5", "--strategy", "funnel",
+                  "--funnel-topk", "0"])
+        with pytest.raises(SystemExit):
+            main(["dse", "--model", "lenet5", "--strategy", "funnel",
+                  "--funnel-topk", "101"])
+
+
+class TestDiskCache:
+    @staticmethod
+    def _entries(stats_out):
+        for line in stats_out.splitlines():
+            if line.startswith("entries"):
+                return int(line.split()[-1])
+        raise AssertionError(f"no entries row in:\n{stats_out}")
+
+    @pytest.fixture()
+    def cold_memory_cache(self):
+        """Empty the process-wide in-memory cache, so the CLI's disk
+        store actually sees the traffic (the suite shares one
+        process)."""
+        from repro.dram.characterize import DEFAULT_CHARACTERIZATION_CACHE
+
+        DEFAULT_CHARACTERIZATION_CACHE.clear()
+        yield
+        DEFAULT_CHARACTERIZATION_CACHE.clear()
+        DEFAULT_CHARACTERIZATION_CACHE.attach_store(None)
+
+    def test_cache_stats_and_clear(self, capsys, tmp_path,
+                                   cold_memory_cache):
+        cache_dir = str(tmp_path / "store")
+        code, out = run_cli(capsys, "cache", "stats",
+                            "--cache-dir", cache_dir)
+        assert code == 0
+        assert cache_dir in out
+        assert self._entries(out) == 0
+        code, _ = run_cli(capsys, "characterize", "--arch", "DDR3",
+                          "--cache-dir", cache_dir)
+        assert code == 0
+        code, out = run_cli(capsys, "cache", "stats",
+                            "--cache-dir", cache_dir)
+        assert code == 0
+        assert self._entries(out) == 1
+        code, out = run_cli(capsys, "cache", "clear",
+                            "--cache-dir", cache_dir)
+        assert code == 0
+        assert "removed 1" in out
+
+    def test_warm_start_output_identical(self, capsys, tmp_path,
+                                         cold_memory_cache):
+        from repro.dram.characterize import DEFAULT_CHARACTERIZATION_CACHE
+
+        cache_dir = str(tmp_path / "store")
+        code, cold = run_cli(capsys, "characterize", "--arch", "SALP-1",
+                             "--cache-dir", cache_dir)
+        assert code == 0
+        # Drop the in-memory entry: the second run is served from
+        # disk, and the table must not change.
+        DEFAULT_CHARACTERIZATION_CACHE.clear()
+        code, warm = run_cli(capsys, "characterize", "--arch", "SALP-1",
+                             "--cache-dir", cache_dir)
+        assert code == 0
+        assert warm == cold
+
+    def test_no_disk_cache_flag(self, capsys, tmp_path,
+                                cold_memory_cache):
+        cache_dir = tmp_path / "store"
+        code, _ = run_cli(capsys, "dse", "--model", "lenet5",
+                          "--layer", "C1", "--cache-dir",
+                          str(cache_dir), "--no-disk-cache")
+        assert code == 0
+        assert not cache_dir.exists()
+
+
 class TestControllerPolicies:
     def test_policies_listing(self, capsys):
         code, out = run_cli(capsys, "policies")
