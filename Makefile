@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-devices bench-workloads bench-policies \
-	bench-strategies cov cov-core lint
+	bench-strategies bench-contention cov cov-core lint
 
 ## tier-1 verification: the full unit/property/integration/benchmark suite
 test:
@@ -29,6 +29,11 @@ bench-policies:
 ## VGG-16 DSE at matched optimum, >=10x fewer exact evaluations)
 bench-strategies:
 	$(PYTHON) -m pytest benchmarks/test_perf_strategies.py -q
+
+## crossbar front-end overhead gate (<5% at N=1 vs the bare
+## controller, contended arbitration within 3x)
+bench-contention:
+	$(PYTHON) -m pytest benchmarks/test_perf_contention.py -q
 
 ## line-coverage floor for the cycle-level DRAM model (requires
 ## pytest-cov; CI installs it)

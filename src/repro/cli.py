@@ -4,20 +4,24 @@ Usage::
 
     python -m repro characterize [--arch DDR3] [--device NAME|all]
                                  [--scheduler fr-fcfs] [--row-policy closed]
+                                 [--requestors N] [--arbiter NAME]
     python -m repro edp --model alexnet --layer CONV2 [--mapping 3]
                         [--device NAME] [--batch B]
                         [--bytes-per-element N]
                         [--scheduler NAME] [--row-policy NAME]
+                        [--requestors N] [--arbiter NAME]
     python -m repro dse --model alexnet [--arch SALP-MASA] [--layer FC6]
                         [--jobs N] [--chunk-size M] [--device NAME]
                         [--batch B] [--bytes-per-element N]
                         [--scheduler NAME] [--row-policy NAME]
+                        [--requestors N] [--arbiter NAME]
                         [--strategy NAME] [--seed S] [--funnel-topk PCT]
     python -m repro traffic --model alexnet [--device NAME] [--batch B]
                             [--bytes-per-element N]
     python -m repro models [--detail] [--model NAME]
     python -m repro devices
     python -m repro policies
+    python -m repro arbiters
     python -m repro strategies
     python -m repro cache {stats,clear} [--cache-dir DIR]
 
@@ -48,6 +52,15 @@ Table-II controller, ``fcfs`` and ``open``.  Non-default
 configurations are flagged in the table titles; DRAM traffic volumes
 are controller-independent, so ``traffic`` accepts the flags for
 interface uniformity but its byte counts never change.
+
+``--requestors`` / ``--arbiter`` select the channel-contention
+configuration (see ``repro arbiters``): how many tagged request
+streams share the channel and which arbitration policy interleaves
+them through the crossbar front end.  The default single requestor
+drives the bare controller, command-for-command identical to the
+pre-contention CLI; contended runs are flagged in the table titles and
+``characterize`` additionally prints the per-requestor accounting
+table.
 
 ``dse`` runs on the sharded :mod:`repro.core.engine`:
 
@@ -96,6 +109,11 @@ from .dram.device import (
     default_device,
     get_device,
 )
+from .dram.contention import (
+    ContentionConfig,
+    arbiter_names,
+    contention_config,
+)
 from .dram.policies import (
     ControllerConfig,
     controller_config,
@@ -132,6 +150,13 @@ def _controller(args: argparse.Namespace) -> ControllerConfig:
         row_policy=getattr(args, "row_policy", "open"))
 
 
+def _contention(args: argparse.Namespace) -> ContentionConfig:
+    """Resolve ``--requestors``/``--arbiter`` to a config."""
+    return contention_config(
+        requestors=getattr(args, "requestors", 1),
+        arbiter=getattr(args, "arbiter", "round-robin"))
+
+
 def _configure_store(args: argparse.Namespace):
     """Attach (or detach) the on-disk store per the cache flags.
 
@@ -164,15 +189,24 @@ def _strategy_options(args: argparse.Namespace):
     return strategy, seed, options
 
 
-def _title_suffix(config: ControllerConfig) -> str:
-    """Table-title tag for non-default controller configurations.
+def _title_suffix(
+    config: ControllerConfig,
+    channel: Optional[ContentionConfig] = None,
+) -> str:
+    """Table-title tag for non-default controller/contention configs.
 
-    Empty for the default (Table-II) controller, so default output
-    stays byte-identical to the pre-policy CLI.
+    Empty for the default (Table-II) controller and the default single
+    requestor, so default output stays byte-identical to the
+    pre-policy, pre-contention CLI.
     """
-    if config.is_default:
+    tags = []
+    if not config.is_default:
+        tags.append(config.label)
+    if channel is not None and not channel.is_default:
+        tags.append(channel.label)
+    if not tags:
         return ""
-    return f" [{config.label}]"
+    return f" [{', '.join(tags)}]"
 
 
 def _workload(args: argparse.Namespace):
@@ -209,6 +243,7 @@ def cmd_characterize(args: argparse.Namespace) -> int:
     _configure_store(args)
     requested = _architecture(args.arch) if args.arch else None
     config = _controller(args)
+    channel = _contention(args)
     if args.device == "all":
         devices = list(DEVICE_REGISTRY)
         if requested is not None:
@@ -225,24 +260,37 @@ def cmd_characterize(args: argparse.Namespace) -> int:
         if requested is not None:
             devices[0].require_architecture(requested)
     rows = []
+    contended = []
     for device in devices:
         if requested is not None:
             architectures = (requested,)
         else:
             architectures = device.supported_architectures
         results = characterize_device(
-            device, architectures, controller=config)
+            device, architectures, controller=config,
+            contention=channel)
         for architecture in architectures:
             result = results[architecture]
             for name, cycles, read_nj, write_nj in result.rows():
                 rows.append([device.name, architecture.value, name,
                              f"{cycles:.1f}", f"{read_nj:.2f}",
                              f"{write_nj:.2f}"])
+            if result.requestor_stats:
+                contended.append((device, architecture, result))
     print(format_table(
         ["device", "architecture", "condition", "cycles", "read nJ",
          "write nJ"],
         rows, title="Per-access DRAM costs (paper Fig. 1)"
-                    + _title_suffix(config)))
+                    + _title_suffix(config, channel)))
+    for device, architecture, result in contended:
+        from .core.report import requestor_stats_table
+
+        print()
+        print(requestor_stats_table(
+            result.requestor_stats,
+            title=f"Per-requestor accounting on {architecture.value} "
+                  f"({device.name}, steady-state streams)"
+                  + _title_suffix(config, channel)))
     return 0
 
 
@@ -253,13 +301,15 @@ def cmd_edp(args: argparse.Namespace) -> int:
     device = _device(args.device)
     device.require_architecture(architecture)
     config = _controller(args)
+    channel = _contention(args)
     scheme = ReuseScheme(args.scheme)
     policies = ([mapping_by_index(args.mapping)] if args.mapping
                 else list(TABLE1_MAPPINGS))
     for layer in _layers(args):
         result = explore_layer(
             layer, architectures=(architecture,), schemes=(scheme,),
-            policies=policies, device=device, controller=config)
+            policies=policies, device=device, controller=config,
+            contention=channel)
         rows = []
         for policy in policies:
             best = result.best(policy=policy)
@@ -275,7 +325,7 @@ def cmd_edp(args: argparse.Namespace) -> int:
             title=f"{layer.name} on {architecture.value} "
                   f"({device.name}), "
                   f"{scheme.value} (best tiling per mapping)"
-                  + _title_suffix(config)))
+                  + _title_suffix(config, channel)))
         print()
     return 0
 
@@ -289,6 +339,7 @@ def cmd_dse(args: argparse.Namespace) -> int:
     device = _device(args.device)
     device.require_architecture(architecture)
     config = _controller(args)
+    channel = _contention(args)
     strategy, seed, options = _strategy_options(args)
     if args.jobs < 0:
         raise SystemExit(f"--jobs must be >= 0, got {args.jobs}")
@@ -310,7 +361,7 @@ def cmd_dse(args: argparse.Namespace) -> int:
     for layer in _layers(args):
         result = explore_layer(
             layer, architectures=(architecture,), engine=engine,
-            device=device, controller=config)
+            device=device, controller=config, contention=channel)
         best = result.best()
         total += best.edp_js
         evaluated += result.evaluated_points
@@ -333,7 +384,7 @@ def cmd_dse(args: argparse.Namespace) -> int:
         ["layer", "mapping", "schedule", "tiling Th/Tw/Tj/Ti",
          "min EDP [J*s]"],
         rows, title=f"Algorithm 1 on {architecture.value} "
-                    f"({device.name})" + _title_suffix(config)
+                    f"({device.name})" + _title_suffix(config, channel)
                     + strategy_suffix))
     if strategy != "exhaustive":
         line = (f"strategy {strategy}: {evaluated}/{grid_points} design "
@@ -430,6 +481,15 @@ def cmd_policies(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_arbiters(args: argparse.Namespace) -> int:
+    """List the registered channel arbiters."""
+    from .core.report import arbiters_table
+
+    del args
+    print(arbiters_table())
+    return 0
+
+
 def cmd_strategies(args: argparse.Namespace) -> int:
     """List the registered DSE search strategies."""
     from .core.strategies import strategy_summaries
@@ -513,6 +573,23 @@ def build_parser() -> argparse.ArgumentParser:
             help="row-buffer policy (default: open, the paper's "
                  "Table-II policy)")
 
+    def add_contention_arguments(subparser: argparse.ArgumentParser
+                                 ) -> None:
+        """``--requestors``/``--arbiter`` pair.
+
+        Arbiter choices derive from the contention registry, so new
+        arbiters appear without touching the CLI.
+        """
+        subparser.add_argument(
+            "--requestors", type=int, default=1,
+            help="request streams sharing the channel (default: 1, "
+                 "the uncontended pre-crossbar path)")
+        subparser.add_argument(
+            "--arbiter", default="round-robin",
+            choices=arbiter_names(),
+            help="crossbar arbitration policy for contended runs "
+                 "(default: round-robin; ignored at --requestors 1)")
+
     def add_cache_arguments(subparser: argparse.ArgumentParser) -> None:
         """``--cache-dir``/``--no-disk-cache`` pair."""
         subparser.add_argument(
@@ -535,6 +612,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "registered device (default: "
                              "ddr3-1600-2gb-x8)")
     add_controller_arguments(p_char)
+    add_contention_arguments(p_char)
     add_cache_arguments(p_char)
     p_char.set_defaults(func=cmd_characterize)
 
@@ -570,6 +648,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="device profile name (default: "
                             "ddr3-1600-2gb-x8)")
     add_controller_arguments(p_edp)
+    add_contention_arguments(p_edp)
     add_cache_arguments(p_edp)
     p_edp.set_defaults(func=cmd_edp)
 
@@ -589,6 +668,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="device profile name (default: "
                             "ddr3-1600-2gb-x8)")
     add_controller_arguments(p_dse)
+    add_contention_arguments(p_dse)
     add_cache_arguments(p_dse)
     from .core.strategies import strategy_names
 
@@ -636,6 +716,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_policies = subparsers.add_parser(
         "policies", help="list registered memory-controller policies")
     p_policies.set_defaults(func=cmd_policies)
+
+    p_arbiters = subparsers.add_parser(
+        "arbiters", help="list registered channel arbiters")
+    p_arbiters.set_defaults(func=cmd_arbiters)
 
     p_strategies = subparsers.add_parser(
         "strategies", help="list registered DSE search strategies")

@@ -32,6 +32,7 @@ from ..cnn.layer import ConvLayer
 from ..cnn.scheduling import ALL_SCHEMES, ReuseScheme
 from ..cnn.tiling import BufferConfig, TABLE2_BUFFERS, TilingConfig
 from ..dram.architecture import DRAMArchitecture
+from ..dram.contention import ContentionConfig
 from ..dram.device import DeviceProfile
 from ..dram.policies import ControllerConfig
 from ..dram.spec import DRAMOrganization
@@ -163,6 +164,7 @@ def explore_layer(
     engine=None,
     device: Optional[DeviceProfile] = None,
     controller: Optional[ControllerConfig] = None,
+    contention: Optional[ContentionConfig] = None,
     strategy=None,
     seed: Optional[int] = None,
     strategy_options: Optional[dict] = None,
@@ -189,6 +191,10 @@ def explore_layer(
         Memory-controller configuration (scheduler + row policy) the
         characterizations are measured under (default: the paper's
         FCFS/open-row Table-II controller).
+    contention:
+        Channel-contention configuration (requestor count + arbiter)
+        the characterizations are measured under (default: the single
+        uncontended requestor).
     strategy / seed / strategy_options:
         Search strategy (a registered name — ``exhaustive``,
         ``random``, ``greedy-refine``, ``funnel`` — or a
@@ -202,7 +208,8 @@ def explore_layer(
         layer, architectures=architectures, schemes=schemes,
         policies=policies, buffers=buffers, organization=organization,
         tilings=tilings_seq, device=device, controller=controller,
-        strategy=strategy, seed=seed, strategy_options=strategy_options)
+        contention=contention, strategy=strategy, seed=seed,
+        strategy_options=strategy_options)
 
 
 def explore_network(

@@ -96,6 +96,11 @@ from ..dram.characterize import (
     CharacterizationResult,
     DEFAULT_CHARACTERIZATION_CACHE,
 )
+from ..dram.contention import (
+    DEFAULT_CONTENTION_CONFIG,
+    ContentionConfig,
+    resolve_contention,
+)
 from ..dram.device import DeviceProfile, resolve_device
 from ..dram.policies import (
     DEFAULT_CONTROLLER_CONFIG,
@@ -228,6 +233,10 @@ class ExplorationContext:
     #: measured under; pickled with the context so worker processes
     #: share the exact controller provenance.
     controller: ControllerConfig = DEFAULT_CONTROLLER_CONFIG
+    #: Channel-contention configuration the characterizations were
+    #: measured under (requestor count + arbiter); pickled with the
+    #: context for the same provenance reason.
+    contention: ContentionConfig = DEFAULT_CONTENTION_CONFIG
     #: Search strategy driving the exploration (provenance: shipped to
     #: workers and recorded on the result).
     strategy: str = "exhaustive"
@@ -298,17 +307,18 @@ def _build_context(
     characterization_cache: CharacterizationCache,
     device: Optional[DeviceProfile] = None,
     controller: Optional[ControllerConfig] = None,
+    contention: Optional[ContentionConfig] = None,
     strategy: str = "exhaustive",
     seed: Optional[int] = None,
 ) -> ExplorationContext:
     """Validate the grid and pre-compute everything shards share.
 
     The resolved :class:`DeviceProfile` (with ``organization`` folded
-    in) and :class:`ControllerConfig` are embedded in the context, so
-    worker processes reconstruct the exact device and controller
-    deterministically from the pickled context alone.
-    ``architectures=None`` selects the device's capability set; an
-    explicit sequence must be within it.
+    in), :class:`ControllerConfig` and :class:`ContentionConfig` are
+    embedded in the context, so worker processes reconstruct the exact
+    device, controller and channel deterministically from the pickled
+    context alone.  ``architectures=None`` selects the device's
+    capability set; an explicit sequence must be within it.
 
     ``layers`` may be a :class:`repro.workloads.Network`; it is
     lowered to the 7-dim loop nests here and kept on the context.
@@ -317,6 +327,7 @@ def _build_context(
     layers = as_layers(layers)
     profile = resolve_device(device, organization)
     config = resolve_controller(controller)
+    channel = resolve_contention(contention)
     if architectures is None:
         architectures = profile.supported_architectures
     for architecture in architectures:
@@ -350,7 +361,8 @@ def _build_context(
         offset += per_point * len(admissible)
     characterizations = {
         architecture: characterization_cache.get(
-            architecture, device=profile, controller=config)
+            architecture, device=profile, controller=config,
+            contention=channel)
         for architecture in architectures
     }
     return ExplorationContext(
@@ -363,6 +375,7 @@ def _build_context(
         offsets=tuple(grid.offset for grid in grids),
         workload=workload,
         controller=config,
+        contention=channel,
         strategy=strategy,
         seed=seed,
     )
@@ -629,6 +642,7 @@ class ExplorationEngine:
         tilings: Optional[Sequence[TilingConfig]] = None,
         device: Optional[DeviceProfile] = None,
         controller: Optional[ControllerConfig] = None,
+        contention: Optional[ContentionConfig] = None,
         strategy=None,
         seed: Optional[int] = None,
         strategy_options: Optional[Dict] = None,
@@ -638,7 +652,7 @@ class ExplorationEngine:
             [layer], architectures=architectures, schemes=schemes,
             policies=policies, buffers=buffers, organization=organization,
             tilings=tilings, device=device, controller=controller,
-            strategy=strategy, seed=seed,
+            contention=contention, strategy=strategy, seed=seed,
             strategy_options=strategy_options)
 
     def explore_network(
@@ -652,6 +666,7 @@ class ExplorationEngine:
         tilings: Optional[Sequence[TilingConfig]] = None,
         device: Optional[DeviceProfile] = None,
         controller: Optional[ControllerConfig] = None,
+        contention: Optional[ContentionConfig] = None,
         strategy=None,
         seed: Optional[int] = None,
         strategy_options: Optional[Dict] = None,
@@ -666,7 +681,9 @@ class ExplorationEngine:
         device); every architecture in ``architectures`` must be in
         its capability set.  ``controller`` selects the
         memory-controller configuration the characterizations are
-        measured under (default: the paper's FCFS/open-row).
+        measured under (default: the paper's FCFS/open-row) and
+        ``contention`` the channel contention (default: one
+        uncontended requestor).
         ``strategy`` / ``seed`` / ``strategy_options`` override the
         engine's search strategy for this call; under the default
         exhaustive strategy the returned points are in the serial
@@ -676,7 +693,7 @@ class ExplorationEngine:
         """
         search, run, shard_iter = self._start(
             layers, architectures, schemes, policies, buffers,
-            organization, tilings, device, controller,
+            organization, tilings, device, controller, contention,
             strategy, seed, strategy_options)
         shards: Dict[int, List[DsePoint]] = {}
         for start, points in shard_iter:
@@ -704,6 +721,7 @@ class ExplorationEngine:
         tilings: Optional[Sequence[TilingConfig]] = None,
         device: Optional[DeviceProfile] = None,
         controller: Optional[ControllerConfig] = None,
+        contention: Optional[ContentionConfig] = None,
         strategy=None,
         seed: Optional[int] = None,
         strategy_options: Optional[Dict] = None,
@@ -718,7 +736,7 @@ class ExplorationEngine:
         """
         _search, run, shard_iter = self._start(
             layers, architectures, schemes, policies, buffers,
-            organization, tilings, device, controller,
+            organization, tilings, device, controller, contention,
             strategy, seed, strategy_options)
         reduced = ReducedExploration()
         for start, points in shard_iter:
@@ -737,6 +755,7 @@ class ExplorationEngine:
         tilings,
         device,
         controller,
+        contention,
         strategy,
         seed,
         strategy_options,
@@ -752,7 +771,7 @@ class ExplorationEngine:
         context = _build_context(
             layers, architectures, schemes, policies, buffers,
             organization, tilings, self.characterization_cache,
-            device=device, controller=controller,
+            device=device, controller=controller, contention=contention,
             strategy=search.name, seed=run_seed)
         run = StrategyRun(
             strategy=search.name,

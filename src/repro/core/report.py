@@ -165,3 +165,63 @@ def policies_table() -> str:
     return format_table(
         ["axis", "name", "default", "description"],
         rows, title="Registered memory-controller policies")
+
+
+def arbiters_table() -> str:
+    """Tabulate the registered channel arbiters.
+
+    One row per arbitration policy and per stream-assignment scheme,
+    with the single-requestor default flagged — the ``repro arbiters``
+    listing.
+    """
+    from ..dram.contention import (
+        ARBITER_SUMMARIES,
+        ASSIGNMENT_SUMMARIES,
+        DEFAULT_CONTENTION_CONFIG,
+        ArbiterKind,
+        AssignmentKind,
+    )
+
+    default = DEFAULT_CONTENTION_CONFIG
+    rows = []
+    for kind in ArbiterKind:
+        rows.append([
+            "arbiter", kind.value,
+            "yes" if kind is default.arbiter else "",
+            ARBITER_SUMMARIES[kind],
+        ])
+    for kind in AssignmentKind:
+        rows.append([
+            "assignment", kind.value,
+            "yes" if kind is default.assignment else "",
+            ASSIGNMENT_SUMMARIES[kind],
+        ])
+    return format_table(
+        ["axis", "name", "default", "description"],
+        rows, title="Registered channel arbiters")
+
+
+def requestor_stats_table(stats, title: str = "") -> str:
+    """Tabulate per-requestor contention accounting.
+
+    One row per requestor of a contended run — serviced count, row
+    locality split, mean service latency and share of the data bus —
+    from :func:`repro.dram.contention.per_requestor_stats` or a
+    contended :class:`~repro.dram.characterize.CharacterizationResult`.
+    """
+    rows = [
+        [
+            entry.requestor,
+            entry.serviced,
+            entry.row_hits,
+            entry.row_misses,
+            entry.row_conflicts,
+            f"{entry.mean_service_cycles:.1f}",
+            f"{entry.bus_share * 100.0:.1f}%",
+        ]
+        for entry in stats
+    ]
+    return format_table(
+        ["requestor", "serviced", "hits", "misses", "conflicts",
+         "mean cycles", "bus share"],
+        rows, title=title or "Per-requestor channel accounting")

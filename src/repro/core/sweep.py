@@ -36,6 +36,7 @@ from ..cnn.scheduling import ReuseScheme
 from ..cnn.tiling import BufferConfig, TABLE2_BUFFERS, enumerate_tilings
 from ..dram.architecture import DRAMArchitecture
 from ..dram.characterize import characterize_cached
+from ..dram.contention import ContentionConfig
 from ..dram.device import DeviceProfile, resolve_device
 from ..dram.policies import ControllerConfig
 from ..dram.spec import DRAMOrganization
@@ -83,6 +84,7 @@ def _min_edp(
     scheme: ReuseScheme,
     organization: Optional[DRAMOrganization] = None,
     controller: Optional[ControllerConfig] = None,
+    contention: Optional[ContentionConfig] = None,
     strategy=None,
     seed: Optional[int] = None,
 ) -> float:
@@ -96,10 +98,12 @@ def _min_edp(
         result = explore_layer(
             layer, architectures=(architecture,), schemes=(scheme,),
             policies=(policy,), buffers=buffers, device=profile,
-            controller=controller, strategy=strategy, seed=seed)
+            controller=controller, contention=contention,
+            strategy=strategy, seed=seed)
         return result.best().edp_js
     characterization = characterize_cached(
-        architecture, device=profile, controller=controller)
+        architecture, device=profile, controller=controller,
+        contention=contention)
     cache = _evaluation_cache()
     best: Optional[float] = None
     for tiling in enumerate_tilings(layer, buffers):
@@ -122,6 +126,7 @@ def sweep_subarrays(
     scheme: ReuseScheme = ReuseScheme.ADAPTIVE_REUSE,
     device: Optional[DeviceProfile] = None,
     controller: Optional[ControllerConfig] = None,
+    contention: Optional[ContentionConfig] = None,
     strategy=None,
     seed: Optional[int] = None,
 ) -> List[SweepPoint]:
@@ -140,11 +145,13 @@ def sweep_subarrays(
             drmap_edp_js=_min_edp(
                 layer, DRMAP, architecture, profile,
                 TABLE2_BUFFERS, scheme, organization=organization,
-                controller=controller, strategy=strategy, seed=seed),
+                controller=controller, contention=contention,
+                strategy=strategy, seed=seed),
             worst_edp_js=_min_edp(
                 layer, MAPPING_2, architecture, profile,
                 TABLE2_BUFFERS, scheme, organization=organization,
-                controller=controller, strategy=strategy, seed=seed),
+                controller=controller, contention=contention,
+                strategy=strategy, seed=seed),
         ))
     return points
 
@@ -156,6 +163,7 @@ def sweep_buffers(
     scheme: ReuseScheme = ReuseScheme.ADAPTIVE_REUSE,
     device: Optional[DeviceProfile] = None,
     controller: Optional[ControllerConfig] = None,
+    contention: Optional[ContentionConfig] = None,
     strategy=None,
     seed: Optional[int] = None,
 ) -> List[SweepPoint]:
@@ -173,11 +181,12 @@ def sweep_buffers(
             value=size_kb,
             drmap_edp_js=_min_edp(
                 layer, DRMAP, architecture, profile, buffers, scheme,
-                controller=controller, strategy=strategy, seed=seed),
+                controller=controller, contention=contention,
+                strategy=strategy, seed=seed),
             worst_edp_js=_min_edp(
                 layer, MAPPING_2, architecture, profile, buffers,
-                scheme, controller=controller, strategy=strategy,
-                seed=seed),
+                scheme, controller=controller,
+                contention=contention, strategy=strategy, seed=seed),
         ))
     return points
 
@@ -189,6 +198,7 @@ def sweep_precision(
     scheme: ReuseScheme = ReuseScheme.ADAPTIVE_REUSE,
     device: Optional[DeviceProfile] = None,
     controller: Optional[ControllerConfig] = None,
+    contention: Optional[ContentionConfig] = None,
     strategy=None,
     seed: Optional[int] = None,
 ) -> List[SweepPoint]:
@@ -222,6 +232,7 @@ def sweep_batch(
     scheme: ReuseScheme = ReuseScheme.ADAPTIVE_REUSE,
     device: Optional[DeviceProfile] = None,
     controller: Optional[ControllerConfig] = None,
+    contention: Optional[ContentionConfig] = None,
     strategy=None,
     seed: Optional[int] = None,
 ) -> List[SweepPoint]:
@@ -253,6 +264,7 @@ def sweep_network_batch(
     device: Optional[DeviceProfile] = None,
     buffers: BufferConfig = TABLE2_BUFFERS,
     controller: Optional[ControllerConfig] = None,
+    contention: Optional[ContentionConfig] = None,
     strategy=None,
     seed: Optional[int] = None,
 ) -> List[SweepPoint]:
@@ -278,11 +290,12 @@ def sweep_network_batch(
         for layer in network.lower():
             drmap_total += _min_edp(
                 layer, DRMAP, architecture, profile, buffers, scheme,
-                controller=controller, strategy=strategy, seed=seed)
+                controller=controller, contention=contention,
+                strategy=strategy, seed=seed)
             worst_total += _min_edp(
                 layer, MAPPING_2, architecture, profile, buffers,
-                scheme, controller=controller, strategy=strategy,
-                seed=seed)
+                scheme, controller=controller,
+                contention=contention, strategy=strategy, seed=seed)
         points.append(SweepPoint(
             parameter=f"{network.name}:batch",
             value=batch,

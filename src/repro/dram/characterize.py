@@ -29,14 +29,21 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..caching import CacheStats, LRUMemo
 from ..errors import ConfigurationError
 
 from .address import Coordinate
 from .architecture import DRAMArchitecture
-from .commands import Request, RequestKind
+from .commands import Request, RequestKind, ServicedRequest
+from .contention import (
+    DEFAULT_CONTENTION_CONFIG,
+    ContentionConfig,
+    RequestorStats,
+    per_requestor_stats,
+    resolve_contention,
+)
 from .device import DEFAULT_DEVICE_NAME, DeviceProfile, resolve_device
 from .policies import (
     DEFAULT_CONTROLLER_CONFIG,
@@ -91,7 +98,12 @@ class CharacterizationResult:
 
     ``controller`` records the memory-controller configuration the
     costs were measured under (the paper's Fig. 1 uses the default
-    FCFS/open-row controller).
+    FCFS/open-row controller); ``contention`` records the channel
+    contention configuration (the paper's channel is uncontended).
+    Under contention (``requestors > 1``) ``requestor_stats`` carries
+    per-requestor bandwidth/latency accounting aggregated over the
+    steady-state micro-experiment streams; it is empty for the
+    uncontended default.
     """
 
     architecture: DRAMArchitecture
@@ -99,6 +111,8 @@ class CharacterizationResult:
     tck_ns: float
     device_name: str = DEFAULT_DEVICE_NAME
     controller: ControllerConfig = DEFAULT_CONTROLLER_CONFIG
+    contention: ContentionConfig = DEFAULT_CONTENTION_CONFIG
+    requestor_stats: Tuple[RequestorStats, ...] = ()
 
     def cost(self, condition: AccessCondition) -> ConditionCost:
         """Cost of ``condition``."""
@@ -194,7 +208,7 @@ def _marginal_cost(
     denom = long_count - short_count
     cycles = (long.total_cycles - short.total_cycles) / denom
     energy = (long.total_energy_nj - short.total_energy_nj) / denom
-    return cycles, energy
+    return cycles, energy, long.trace.serviced
 
 
 def _isolated_miss_cost(simulator: DRAMSimulator, kind: RequestKind) -> tuple:
@@ -210,6 +224,7 @@ def characterize(
     long_count: int = 320,
     device: Optional[DeviceProfile] = None,
     controller: Optional[ControllerConfig] = None,
+    contention: Optional[ContentionConfig] = None,
 ) -> CharacterizationResult:
     """Measure the Fig.-1 per-condition costs for ``architecture``.
 
@@ -235,12 +250,21 @@ def characterize(
         the paper's FCFS/open-row controller).  When ``simulator`` is
         supplied its own configuration wins and ``controller`` must
         not disagree with it.
+    contention:
+        Channel contention configuration (default: the paper's
+        uncontended single requestor).  With ``requestors > 1`` each
+        micro-experiment stream is split across the requestors and
+        merged back through the crossbar front end, and the result
+        carries per-requestor bandwidth/latency accounting.  When
+        ``simulator`` is supplied its own configuration wins and
+        ``contention`` must not disagree with it.
     """
     if simulator is None:
         profile = resolve_device(device)
         config = resolve_controller(controller)
+        channel = resolve_contention(contention)
         simulator = DRAMSimulator.from_profile(
-            profile, architecture, controller=config)
+            profile, architecture, controller=config, contention=channel)
         device_name = profile.name
     else:
         if controller is not None \
@@ -249,14 +273,24 @@ def characterize(
                 f"controller {resolve_controller(controller).label!r} "
                 f"disagrees with the pre-built simulator's "
                 f"{simulator.controller.label!r}")
+        if contention is not None \
+                and resolve_contention(contention) != simulator.contention:
+            raise ConfigurationError(
+                f"contention {resolve_contention(contention).label!r} "
+                f"disagrees with the pre-built simulator's "
+                f"{simulator.contention.label!r}")
         config = simulator.controller
+        channel = simulator.contention
         device_name = device.name if device is not None else "custom"
     costs: Dict[AccessCondition, ConditionCost] = {}
+    steady_state: List[ServicedRequest] = []
     for condition, stream in _STREAMS.items():
-        read_cycles, read_nj = _marginal_cost(
+        read_cycles, read_nj, read_serviced = _marginal_cost(
             simulator, stream, RequestKind.READ, short_count, long_count)
-        _w_cycles, write_nj = _marginal_cost(
+        _w_cycles, write_nj, write_serviced = _marginal_cost(
             simulator, stream, RequestKind.WRITE, short_count, long_count)
+        steady_state.extend(read_serviced)
+        steady_state.extend(write_serviced)
         costs[condition] = ConditionCost(
             cycles=read_cycles,
             read_energy_nj=read_nj,
@@ -271,12 +305,17 @@ def characterize(
         read_energy_nj=miss_read_nj,
         write_energy_nj=miss_write_nj,
     )
+    requestor_stats: Tuple[RequestorStats, ...] = ()
+    if channel.requestors > 1:
+        requestor_stats = per_requestor_stats(steady_state)
     return CharacterizationResult(
         architecture=architecture,
         costs=costs,
         tck_ns=simulator.timings.tck_ns,
         device_name=device_name,
         controller=config,
+        contention=channel,
+        requestor_stats=requestor_stats,
     )
 
 
@@ -371,6 +410,7 @@ class CharacterizationCache:
         organization: Optional[DRAMOrganization] = None,
         device: Optional[DeviceProfile] = None,
         controller: Optional[ControllerConfig] = None,
+        contention: Optional[ContentionConfig] = None,
     ) -> CharacterizationResult:
         """Characterization of ``architecture`` on a device.
 
@@ -379,30 +419,36 @@ class CharacterizationCache:
         (the sweeps vary geometry at a fixed speed grade).  The
         device's capability set must include ``architecture``.
         ``controller`` selects the memory-controller configuration
-        (default: FCFS/open-row) and is part of the cache key — a
-        ``(profile, architecture)`` key would silently serve one
-        policy's costs to another.  Results are computed on first use
-        and served from the cache — as the *same object* — afterwards.
+        (default: FCFS/open-row) and ``contention`` the channel
+        contention (default: one uncontended requestor); both are part
+        of the cache key — a ``(profile, architecture)`` key would
+        silently serve one configuration's costs to another.  Results
+        are computed on first use and served from the cache — as the
+        *same object* — afterwards.
         """
         profile = resolve_device(device, organization)
         profile.require_architecture(architecture)
         config = resolve_controller(controller)
+        channel = resolve_contention(contention)
 
         def compute() -> CharacterizationResult:
             if self.store is not None:
-                stored = self.store.load(profile, architecture, config)
+                stored = self.store.load(
+                    profile, architecture, config, channel)
                 if stored is not None:
                     return stored
             simulator = DRAMSimulator.from_profile(
-                profile, architecture, controller=config)
+                profile, architecture, controller=config,
+                contention=channel)
             result = characterize(
                 architecture, simulator=simulator, device=profile)
             if self.store is not None:
-                self.store.save(result, profile, architecture, config)
+                self.store.save(
+                    result, profile, architecture, config, channel)
             return result
 
         result, hit = self._memo.get_or_compute_flagged(
-            (profile, architecture, config), compute)
+            (profile, architecture, config, channel), compute)
         counters = self._per_device.setdefault(profile.name, [0, 0])
         counters[0 if hit else 1] += 1
         return result
@@ -420,15 +466,18 @@ def characterize_cached(
     organization: Optional[DRAMOrganization] = None,
     device: Optional[DeviceProfile] = None,
     controller: Optional[ControllerConfig] = None,
+    contention: Optional[ContentionConfig] = None,
 ) -> CharacterizationResult:
     """Characterize through the process-wide LRU cache.
 
     Like :func:`characterize` but keyed on ``(profile, architecture,
-    controller)`` so repeated requests — e.g. one per design point of
-    a sweep — hit the simulator only once per configuration.
+    controller, contention)`` so repeated requests — e.g. one per
+    design point of a sweep — hit the simulator only once per
+    configuration.
     """
     return DEFAULT_CHARACTERIZATION_CACHE.get(
-        architecture, organization, device=device, controller=controller)
+        architecture, organization, device=device, controller=controller,
+        contention=contention)
 
 
 def characterize_analytical(
@@ -436,6 +485,7 @@ def characterize_analytical(
     organization: Optional[DRAMOrganization] = None,
     device: Optional[DeviceProfile] = None,
     controller: Optional[ControllerConfig] = None,
+    contention: Optional[ContentionConfig] = None,
 ) -> CharacterizationResult:
     """Closed-form characterization (no simulation).
 
@@ -445,9 +495,17 @@ def characterize_analytical(
     shape, so every downstream consumer (``run_cost``, ``layer_edp``,
     the DSE engine) is model-agnostic.  Used by the ``funnel`` search
     strategy's pruning phase.
+
+    The closed-form model is contention-blind: it scores the
+    *uncontended* channel regardless of ``contention`` (the parameter
+    is accepted for signature parity).  Funnel pruning therefore ranks
+    candidates by uncontended cost and the exact verification phase
+    applies the contended simulation — an explicit, documented
+    approximation.
     """
     from .analytical import analytical_characterization
 
+    del contention  # contention-blind by design; see docstring
     return analytical_characterization(
         architecture, device=device, organization=organization,
         controller=controller)
@@ -468,19 +526,22 @@ def characterize_device(
     device: DeviceProfile,
     architectures: Optional[tuple] = None,
     controller: Optional[ControllerConfig] = None,
+    contention: Optional[ContentionConfig] = None,
 ) -> Dict[DRAMArchitecture, CharacterizationResult]:
     """Cached Fig.-1 characterization of one device.
 
     By default every architecture in the device's capability set is
     characterized; an explicit ``architectures`` sequence is validated
     against that set.  ``controller`` selects the memory-controller
-    configuration (default: the paper's FCFS/open-row).
+    configuration (default: the paper's FCFS/open-row) and
+    ``contention`` the channel contention (default: uncontended).
     """
     if architectures is None:
         architectures = device.supported_architectures
     return {
         arch: DEFAULT_CHARACTERIZATION_CACHE.get(
-            arch, device=device, controller=controller)
+            arch, device=device, controller=controller,
+            contention=contention)
         for arch in architectures
     }
 
@@ -488,6 +549,7 @@ def characterize_device(
 def characterize_all(
     device: Optional[DeviceProfile] = None,
     controller: Optional[ControllerConfig] = None,
+    contention: Optional[ContentionConfig] = None,
 ) -> Dict[DRAMArchitecture, CharacterizationResult]:
     """Fig.-1 characterization for every supported architecture.
 
@@ -495,4 +557,5 @@ def characterize_all(
     all four architectures on DDR3-1600 2 Gb x8 under FCFS/open-row.
     """
     profile = resolve_device(device)
-    return characterize_device(profile, controller=controller)
+    return characterize_device(
+        profile, controller=controller, contention=contention)

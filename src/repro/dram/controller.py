@@ -137,6 +137,16 @@ class MemoryController:
             self._ranks[rank_key] = RankState()
         return self._ranks[rank_key]
 
+    @property
+    def serviced(self) -> List[ServicedRequest]:
+        """Completion records so far, in service order (do not mutate).
+
+        The crossbar front end reads this mid-run to attribute
+        completions to requestors while the request stream is still
+        being consumed.
+        """
+        return self._serviced
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------

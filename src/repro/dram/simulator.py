@@ -25,7 +25,9 @@ from typing import Iterable, List, Optional
 from .address import Coordinate
 from .architecture import DRAMArchitecture
 from .commands import CommandTrace, Request
+from .contention import ContentionConfig, resolve_contention
 from .controller import MemoryController
+from .crossbar import Crossbar
 from .energy import EnergyAccountant, TraceEnergy
 from .policies import ControllerConfig, resolve_controller
 from .power import CurrentParameters, DDR3_1600_2GB_X8_CURRENTS, EnergyModel
@@ -82,11 +84,15 @@ class DRAMSimulator:
         currents: CurrentParameters = DDR3_1600_2GB_X8_CURRENTS,
         include_background_energy: bool = True,
         controller: Optional[ControllerConfig] = None,
+        contention: Optional[ContentionConfig] = None,
+        refresh_enabled: bool = False,
     ) -> None:
         self.organization = organization
         self.timings = timings
         self.architecture = architecture
         self.controller = resolve_controller(controller)
+        self.contention = resolve_contention(contention)
+        self.refresh_enabled = refresh_enabled
         self.energy_model = EnergyModel(organization, timings, currents)
         self.include_background_energy = include_background_energy
 
@@ -134,11 +140,40 @@ class DRAMSimulator:
     # ------------------------------------------------------------------
 
     def run(self, requests: Iterable[Request]) -> SimulationResult:
-        """Service ``requests`` on a fresh controller and account energy."""
-        controller = MemoryController(
+        """Service ``requests`` on a fresh controller and account energy.
+
+        With ``contention.requestors > 1`` the flat stream is split per
+        the configured assignment and merged back through the crossbar
+        front end; the single-requestor default drives the bare
+        controller, command-for-command identical to the pre-crossbar
+        path.
+        """
+        controller = self._fresh_controller()
+        if self.contention.requestors > 1:
+            trace = Crossbar(controller, self.contention
+                             ).run_merged(requests)
+        else:
+            trace = controller.run(requests)
+        return self._account(trace)
+
+    def run_streams(self, streams) -> SimulationResult:
+        """Service one explicit request stream per requestor.
+
+        ``streams`` must hold exactly ``contention.requestors``
+        iterables (one is fine — the N=1 crossbar is the identity
+        front end).
+        """
+        trace = Crossbar(self._fresh_controller(), self.contention
+                         ).run(streams)
+        return self._account(trace)
+
+    def _fresh_controller(self) -> MemoryController:
+        return MemoryController(
             self.organization, self.timings, self.architecture,
+            refresh_enabled=self.refresh_enabled,
             config=self.controller)
-        trace = controller.run(requests)
+
+    def _account(self, trace: CommandTrace) -> SimulationResult:
         accountant = EnergyAccountant(
             self.energy_model,
             include_background=self.include_background_energy)

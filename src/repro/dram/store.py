@@ -15,11 +15,12 @@ Each entry is one JSON file under the store root (default
 environment variable or the CLI's ``--cache-dir``).  The filename is
 the SHA-256 **spec hash** of the complete configuration — every field
 of the device profile's organization / timings / currents, the
-architecture, the controller configuration and the store format
-version.  Any parameter change (a re-tuned timing, a new geometry, a
-different row policy) therefore hashes to a different file: stale
-entries are never served, they are simply orphaned (and removed by
-``repro cache clear``).
+architecture, the controller configuration, the channel-contention
+configuration and the store format version.  Any parameter change (a
+re-tuned timing, a new geometry, a different row policy, a different
+requestor count or arbiter) therefore hashes to a different file:
+stale entries are never served, they are simply orphaned (and removed
+by ``repro cache clear``).
 
 The store is attached to a
 :class:`~repro.dram.characterize.CharacterizationCache` via
@@ -47,12 +48,21 @@ from .characterize import (
     CharacterizationResult,
     ConditionCost,
 )
+from .contention import (
+    ContentionConfig,
+    RequestorStats,
+    resolve_contention,
+)
 from .device import DeviceProfile
 from .policies import ControllerConfig
 
 #: Bump when the serialized payload shape changes; old entries are
-#: invalidated by the hash.
-STORE_FORMAT_VERSION = 1
+#: invalidated by the hash.  Version 2 added the channel-contention
+#: configuration to the spec and per-requestor accounting to the
+#: payload: every pre-contention entry is orphaned (re-simulated once,
+#: then re-persisted under the new hash; ``repro cache clear`` removes
+#: the leftovers).
+STORE_FORMAT_VERSION = 2
 
 #: Environment variable overriding the default store root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -70,8 +80,10 @@ def _spec_payload(
     profile: DeviceProfile,
     architecture: DRAMArchitecture,
     controller: ControllerConfig,
+    contention: Optional[ContentionConfig] = None,
 ) -> dict:
     """Canonical JSON-able description of one configuration."""
+    channel = resolve_contention(contention)
     return {
         "version": STORE_FORMAT_VERSION,
         "device_name": profile.name,
@@ -85,6 +97,13 @@ def _spec_payload(
             "reorder_window": controller.reorder_window,
             "timeout_cycles": controller.timeout_cycles,
         },
+        "contention": {
+            "requestors": channel.requestors,
+            "arbiter": channel.arbiter.value,
+            "assignment": channel.assignment.value,
+            "in_flight_limit": channel.in_flight_limit,
+            "age_limit": channel.age_limit,
+        },
     }
 
 
@@ -92,10 +111,11 @@ def spec_hash(
     profile: DeviceProfile,
     architecture: DRAMArchitecture,
     controller: ControllerConfig,
+    contention: Optional[ContentionConfig] = None,
 ) -> str:
     """SHA-256 over the canonical spec: the store key."""
     canonical = json.dumps(
-        _spec_payload(profile, architecture, controller),
+        _spec_payload(profile, architecture, controller, contention),
         sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -140,14 +160,17 @@ class CharacterizationStore:
         profile: DeviceProfile,
         architecture: DRAMArchitecture,
         controller: ControllerConfig,
+        contention: Optional[ContentionConfig] = None,
     ) -> Optional[CharacterizationResult]:
         """The stored result for this exact spec, or ``None``.
 
         Unreadable or mismatching entries (hash collisions, hand-edited
         files, format drift) are treated as misses.
         """
-        spec = _spec_payload(profile, architecture, controller)
-        path = self._path(spec_hash(profile, architecture, controller))
+        channel = resolve_contention(contention)
+        spec = _spec_payload(profile, architecture, controller, channel)
+        path = self._path(
+            spec_hash(profile, architecture, controller, channel))
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
@@ -165,12 +188,27 @@ class CharacterizationStore:
                 )
                 for name, entry in payload["costs"].items()
             }
+            requestor_stats = tuple(
+                RequestorStats(
+                    requestor=entry["requestor"],
+                    serviced=int(entry["serviced"]),
+                    row_hits=int(entry["row_hits"]),
+                    row_misses=int(entry["row_misses"]),
+                    row_conflicts=int(entry["row_conflicts"]),
+                    mean_service_cycles=float(
+                        entry["mean_service_cycles"]),
+                    bus_share=float(entry["bus_share"]),
+                )
+                for entry in payload.get("requestor_stats", ())
+            )
             result = CharacterizationResult(
                 architecture=architecture,
                 costs=costs,
                 tck_ns=float(payload["tck_ns"]),
                 device_name=payload["device_name"],
                 controller=controller,
+                contention=channel,
+                requestor_stats=requestor_stats,
             )
         except (KeyError, TypeError, ValueError):
             self.misses += 1
@@ -184,9 +222,11 @@ class CharacterizationStore:
         profile: DeviceProfile,
         architecture: DRAMArchitecture,
         controller: ControllerConfig,
+        contention: Optional[ContentionConfig] = None,
     ) -> Optional[Path]:
         """Persist ``result`` atomically; ``None`` if the write failed."""
-        spec = _spec_payload(profile, architecture, controller)
+        channel = resolve_contention(contention)
+        spec = _spec_payload(profile, architecture, controller, channel)
         payload = {
             "spec": spec,
             "device_name": result.device_name,
@@ -199,8 +239,21 @@ class CharacterizationStore:
                 }
                 for condition, cost in result.costs.items()
             },
+            "requestor_stats": [
+                {
+                    "requestor": stats.requestor,
+                    "serviced": stats.serviced,
+                    "row_hits": stats.row_hits,
+                    "row_misses": stats.row_misses,
+                    "row_conflicts": stats.row_conflicts,
+                    "mean_service_cycles": stats.mean_service_cycles,
+                    "bus_share": stats.bus_share,
+                }
+                for stats in result.requestor_stats
+            ],
         }
-        path = self._path(spec_hash(profile, architecture, controller))
+        path = self._path(
+            spec_hash(profile, architecture, controller, channel))
         temp_name = None
         try:
             self.root.mkdir(parents=True, exist_ok=True)

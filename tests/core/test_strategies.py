@@ -124,7 +124,8 @@ class TestExhaustiveByteIdentity:
         engine = ExplorationEngine(strategy="random", seed=11)
         _search, run, _iter = engine._start(
             [tiny_layer], None, ALL_SCHEMES, TABLE1_MAPPINGS,
-            TABLE2_BUFFERS, None, None, None, None, None, None, None)
+            TABLE2_BUFFERS, None, None, None, None, None, None, None,
+            None)
         assert (run.strategy, run.seed) == ("random", 11)
 
     def test_context_dataclass_carries_provenance(self, tiny_layer):

@@ -1,0 +1,172 @@
+"""Property-based invariants for the multi-requestor front end.
+
+Random request streams x all architectures x random controller and
+contention configurations must satisfy:
+
+* the N=1 crossbar is the *identity* front end — command-for-command
+  and service-timing identical to the bare controller;
+* contended command traces still respect every JEDEC timing rule,
+  verified by round-tripping through :mod:`repro.dram.trace_io` and
+  replaying the independent checker of :mod:`jedec_checker`;
+* arbiter fairness — round-robin never makes a backlogged requestor
+  wait N-1 grants or more without winning, age-based waits are
+  bounded by ``age_limit + N - 1``, fixed-priority lets requestor 0
+  monopolize the channel;
+* the per-requestor projection of a contended run preserves each
+  input stream's FIFO order under the FCFS controller.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from jedec_checker import (
+    ORG,
+    T,
+    architectures,
+    controller_configs,
+    roundtrip_and_check,
+    streams,
+)
+from repro.dram.contention import contention_config, requestor_tag
+from repro.dram.controller import MemoryController
+from repro.dram.crossbar import Crossbar
+
+contention_configs = st.builds(
+    contention_config,
+    requestors=st.integers(2, 4),
+    arbiter=st.sampled_from(
+        ["round-robin", "fixed-priority", "age-based"]),
+    assignment=st.sampled_from(["interleave", "block"]),
+    in_flight_limit=st.sampled_from([1, 2, 8]),
+    age_limit=st.sampled_from([1, 4, 16]),
+)
+
+
+def _service_signature(trace):
+    """Timing/identity of each completion, ignoring the crossbar tag."""
+    return [(s.request.kind, s.request.coordinate, s.issue_cycle,
+             s.data_cycle, s.row_hit, s.row_miss, s.row_conflict)
+            for s in trace.serviced]
+
+
+# ----------------------------------------------------------------------
+# N=1 identity
+# ----------------------------------------------------------------------
+
+@given(stream=streams, architecture=architectures,
+       config=controller_configs)
+@settings(max_examples=100, deadline=None)
+def test_n1_crossbar_is_identity_front_end(
+        stream, architecture, config):
+    """The default contention config must never perturb a schedule."""
+    bare = MemoryController(ORG, T, architecture, config=config
+                            ).run(stream)
+    crossbar = Crossbar(
+        MemoryController(ORG, T, architecture, config=config))
+    contended = crossbar.run_merged(stream)
+    assert contended.commands == bare.commands
+    assert _service_signature(contended) == _service_signature(bare)
+    assert len(crossbar.grant_log) == len(stream)
+    assert all(g.requestor == 0 and g.waited == 0
+               for g in crossbar.grant_log)
+
+
+# ----------------------------------------------------------------------
+# Contended traces stay JEDEC-legal
+# ----------------------------------------------------------------------
+
+@given(stream=streams, architecture=architectures,
+       config=controller_configs, channel=contention_configs)
+@settings(max_examples=150, deadline=None,
+          # The tmp_path file is overwritten per example, so reusing
+          # the fixture across examples is sound.
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_contended_trace_respects_all_timing_invariants(
+        stream, architecture, config, channel, tmp_path):
+    crossbar = Crossbar(
+        MemoryController(ORG, T, architecture, config=config), channel)
+    trace = crossbar.run_merged(stream)
+    assert len(trace.serviced) == len(stream)
+    roundtrip_and_check(trace.commands, architecture, tmp_path)
+
+
+# ----------------------------------------------------------------------
+# Arbiter fairness
+# ----------------------------------------------------------------------
+
+@given(stream=streams, architecture=architectures,
+       requestors=st.integers(2, 4))
+@settings(max_examples=100, deadline=None)
+def test_round_robin_is_starvation_free(
+        stream, architecture, requestors):
+    """A backlogged requestor wins within N-1 grants."""
+    channel = contention_config(requestors=requestors)
+    crossbar = Crossbar(
+        MemoryController(ORG, T, architecture), channel)
+    crossbar.run_merged(stream)
+    assert crossbar.grant_log
+    assert max(g.waited for g in crossbar.grant_log) \
+        <= requestors - 1
+
+
+@given(stream=streams, architecture=architectures,
+       requestors=st.integers(2, 4),
+       age_limit=st.sampled_from([1, 2, 8]))
+@settings(max_examples=100, deadline=None)
+def test_age_based_wait_is_bounded(
+        stream, architecture, requestors, age_limit):
+    """The age escape bounds every wait by age_limit + N - 1."""
+    channel = contention_config(
+        requestors=requestors, arbiter="age-based",
+        age_limit=age_limit)
+    crossbar = Crossbar(
+        MemoryController(ORG, T, architecture), channel)
+    crossbar.run_merged(stream)
+    assert max(g.waited for g in crossbar.grant_log) \
+        <= age_limit + requestors - 1
+
+
+@given(stream=streams, architecture=architectures)
+@settings(max_examples=60, deadline=None)
+def test_fixed_priority_lets_requestor_zero_monopolize(
+        stream, architecture):
+    """Under FCFS (nothing in flight at arbitration time) requestor 0
+    drains completely before requestor 1 is ever granted."""
+    channel = contention_config(
+        requestors=2, arbiter="fixed-priority")
+    crossbar = Crossbar(
+        MemoryController(ORG, T, architecture), channel)
+    crossbar.run_merged(stream)
+    grants = [g.requestor for g in crossbar.grant_log]
+    first_of_r0 = len([g for g in grants if g == 0])
+    assert grants == [0] * first_of_r0 + [1] * (len(grants)
+                                                - first_of_r0)
+
+
+# ----------------------------------------------------------------------
+# Per-requestor projection
+# ----------------------------------------------------------------------
+
+@given(stream=streams, architecture=architectures,
+       channel=contention_configs)
+@settings(max_examples=100, deadline=None)
+def test_projection_preserves_per_stream_fifo_order(
+        stream, architecture, channel):
+    """Under the FCFS controller each requestor's completions appear
+    in its own input-stream order (contention interleaves streams,
+    it never reorders within one)."""
+    from repro.dram.contention import split_stream
+
+    per_requestor = split_stream(stream, channel)
+    crossbar = Crossbar(
+        MemoryController(ORG, T, architecture), channel)
+    trace = crossbar.run(per_requestor)
+    for index, expected in enumerate(per_requestor):
+        tag = requestor_tag(index)
+        projected = [s.request for s in trace.serviced
+                     if s.request.tag == tag]
+        assert [r.coordinate for r in projected] \
+            == [r.coordinate for r in expected]
+        assert [r.kind for r in projected] \
+            == [r.kind for r in expected]

@@ -68,6 +68,27 @@ class TestSpecHashInvalidation:
         assert base != spec_hash(
             TINY_DEVICE, DDR3, controller_config(row_policy="closed"))
 
+    def test_contention_changes_the_key(self):
+        from repro.dram.contention import contention_config
+
+        base = spec_hash(TINY_DEVICE, DDR3, DEFAULT_CONTROLLER_CONFIG)
+        contended = spec_hash(
+            TINY_DEVICE, DDR3, DEFAULT_CONTROLLER_CONFIG,
+            contention_config(requestors=2))
+        assert base != contended
+        # The explicit default contention config IS the bare key, so
+        # pre-contention cache entries only orphan when N > 1.
+        assert base == spec_hash(
+            TINY_DEVICE, DDR3, DEFAULT_CONTROLLER_CONFIG,
+            contention_config(requestors=1))
+        # Every knob that survives canonicalization is key material.
+        assert contended != spec_hash(
+            TINY_DEVICE, DDR3, DEFAULT_CONTROLLER_CONFIG,
+            contention_config(requestors=2, arbiter="age-based"))
+        assert contended != spec_hash(
+            TINY_DEVICE, DDR3, DEFAULT_CONTROLLER_CONFIG,
+            contention_config(requestors=2, assignment="block"))
+
     def test_any_timing_field_changes_the_key(self):
         base = spec_hash(TINY_DEVICE, DDR3, DEFAULT_CONTROLLER_CONFIG)
         retimed = dataclasses.replace(

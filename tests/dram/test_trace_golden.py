@@ -20,7 +20,9 @@ from pathlib import Path
 
 from repro.dram.characterize import _STREAMS, AccessCondition
 from repro.dram.commands import RequestKind
+from repro.dram.contention import contention_config
 from repro.dram.controller import MemoryController
+from repro.dram.crossbar import Crossbar
 from repro.dram.device import get_device
 from repro.dram.trace_io import (
     read_command_trace,
@@ -60,6 +62,23 @@ def generate_trace(condition: AccessCondition, path: Path) -> None:
     write_command_trace(path, trace.commands)
 
 
+#: The pinned two-requestor schedule: the row-conflict stream split
+#: round-robin across two requestors on the default controller.
+CONTENDED_GOLDEN = GOLDEN_DIR / "n2-round-robin.trace"
+
+
+def generate_contended_trace(path: Path) -> None:
+    """Pin the N=2 round-robin crossbar schedule on the default device."""
+    device = get_device("ddr3-1600-2gb-x8")
+    stream = _STREAMS[AccessCondition.ROW_CONFLICT](
+        device.organization, RequestKind.READ, STREAM_LENGTH)
+    crossbar = Crossbar(
+        MemoryController(device.organization, device.timings),
+        contention_config(requestors=2, arbiter="round-robin"))
+    trace = crossbar.run_merged(stream)
+    write_command_trace(path, trace.commands)
+
+
 class TestGoldenCommandTraces:
     def test_goldens_exist(self):
         for condition in PINNED_CONDITIONS:
@@ -85,6 +104,38 @@ class TestGoldenCommandTraces:
             write_command_trace(rewritten, commands)
             assert rewritten.read_bytes() == \
                 golden_path(condition).read_bytes()
+
+
+class TestCrossbarGoldens:
+    def test_n1_crossbar_matches_every_golden_byte_for_byte(
+            self, tmp_path):
+        """The default-contention crossbar must reproduce the bare
+        controller's pinned schedules exactly — the N=1 front end is
+        the identity, held to command granularity."""
+        device = get_device("ddr3-1600-2gb-x8")
+        for condition in PINNED_CONDITIONS:
+            stream = _STREAMS[condition](
+                device.organization, RequestKind.READ, STREAM_LENGTH)
+            crossbar = Crossbar(MemoryController(
+                device.organization, device.timings))
+            trace = crossbar.run_merged(stream)
+            fresh = tmp_path / f"{condition.value}.trace"
+            write_command_trace(fresh, trace.commands)
+            assert fresh.read_bytes() == golden_path(condition
+                                                     ).read_bytes(), (
+                f"N=1 crossbar drifted from the pinned bare-controller "
+                f"{condition.value} schedule")
+
+    def test_n2_round_robin_matches_golden_byte_for_byte(
+            self, tmp_path):
+        assert CONTENDED_GOLDEN.is_file(), (
+            f"missing golden {CONTENDED_GOLDEN}; regenerate with "
+            f"python {__file__} --regenerate")
+        fresh = tmp_path / "n2-round-robin.trace"
+        generate_contended_trace(fresh)
+        assert fresh.read_bytes() == CONTENDED_GOLDEN.read_bytes(), (
+            "N=2 round-robin command trace drifted from the pinned "
+            "crossbar schedule")
 
 
 class TestRequestTraceRoundTrip:
@@ -116,5 +167,7 @@ if __name__ == "__main__":  # pragma: no cover - maintenance entry
         for pinned in PINNED_CONDITIONS:
             generate_trace(pinned, golden_path(pinned))
             print(f"wrote {golden_path(pinned)}")
+        generate_contended_trace(CONTENDED_GOLDEN)
+        print(f"wrote {CONTENDED_GOLDEN}")
     else:
         print(__doc__)

@@ -459,3 +459,53 @@ class TestControllerPolicies:
             assert code == 0
             assert "TOTAL" in out
             assert "[fr-fcfs/closed]" in out
+
+
+class TestChannelContention:
+    def test_arbiters_listing(self, capsys):
+        code, out = run_cli(capsys, "arbiters")
+        assert code == 0
+        for name in ("round-robin", "fixed-priority", "age-based",
+                     "interleave", "block"):
+            assert name in out
+        assert "default" in out
+
+    def test_default_flags_output_unchanged(self, capsys):
+        code, implicit = run_cli(capsys, "characterize", "--arch",
+                                 "DDR3")
+        assert code == 0
+        code, explicit = run_cli(capsys, "characterize", "--arch",
+                                 "DDR3", "--requestors", "1",
+                                 "--arbiter", "round-robin")
+        assert code == 0
+        assert implicit == explicit
+
+    def test_characterize_prints_per_requestor_table(self, capsys):
+        code, out = run_cli(capsys, "characterize", "--arch", "DDR3",
+                            "--device", "tiny",
+                            "--requestors", "2")
+        assert code == 0
+        assert "Per-requestor accounting" in out
+        assert "[2req/round-robin]" in out
+        assert "r0" in out and "r1" in out
+        assert "bus share" in out
+
+    def test_dse_title_flags_contention(self, capsys):
+        code, out = run_cli(capsys, "dse", "--model", "lenet5",
+                            "--layer", "C1", "--requestors", "2",
+                            "--arbiter", "age-based")
+        assert code == 0
+        assert "[2req/age-based]" in out
+
+    def test_unknown_arbiter_exits_2_and_names_choices(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["characterize", "--arbiter", "lottery"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        for name in ("round-robin", "fixed-priority", "age-based"):
+            assert name in err
+
+    def test_non_positive_requestors_exits_2(self, capsys):
+        code = main(["characterize", "--requestors", "0"])
+        assert code == 2
+        assert "requestors" in capsys.readouterr().err
