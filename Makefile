@@ -2,15 +2,17 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-devices bench-workloads bench-policies \
-	bench-strategies bench-contention cov cov-core lint
+	bench-strategies bench-contention bench-kernel cov cov-core lint
 
 ## tier-1 verification: the full unit/property/integration/benchmark suite
 test:
 	$(PYTHON) -m pytest -x -q
 
 ## paper-artifact benchmarks only, with pytest-benchmark timings
+## exported to a BENCH_<utc-stamp>.json perf-trajectory file
 bench:
-	$(PYTHON) -m pytest benchmarks/ -q
+	$(PYTHON) -m pytest benchmarks/ -q \
+		--benchmark-json=BENCH_$$(date -u +%Y%m%dT%H%M%SZ).json
 
 ## cross-device characterization micro-benchmark (device registry)
 bench-devices:
@@ -34,6 +36,12 @@ bench-strategies:
 ## controller, contended arbitration within 3x)
 bench-contention:
 	$(PYTHON) -m pytest benchmarks/test_perf_contention.py -q
+
+## vectorized-kernel speed gates (>=10x vs the object simulator on a
+## full ddr3-1600-2gb-x8 characterize, batch >=2x vs per-triple kernel
+## calls over the whole device registry), at exact result equality
+bench-kernel:
+	$(PYTHON) -m pytest benchmarks/test_perf_kernel.py -q
 
 ## line-coverage floor for the cycle-level DRAM model (requires
 ## pytest-cov; CI installs it)

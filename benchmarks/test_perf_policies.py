@@ -80,7 +80,7 @@ def test_controller_dispatch_within_5_percent():
         return controller
 
     # Identical schedules first, then the stopwatch.
-    assert policy_path().commands == raw_path()._commands
+    assert list(policy_path().commands) == raw_path()._commands
 
     raw_seconds, policy_seconds = _interleaved_best_of(
         5, raw_path, policy_path)

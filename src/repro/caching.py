@@ -57,6 +57,16 @@ class LRUMemo:
     def __len__(self) -> int:
         return len(self.entries)
 
+    def peek(self, key):
+        """The cached value for ``key``, or ``None`` — no accounting.
+
+        Unlike :meth:`get_or_compute_flagged` this neither bumps the
+        hit/miss counters nor refreshes the entry's recency; batch
+        front ends use it to plan which keys need computing before
+        running the (counted) lookups.
+        """
+        return self.entries.get(key)
+
     def get_or_compute(self, key, compute: Callable):
         """The cached value for ``key``, computing it on first use."""
         return self.get_or_compute_flagged(key, compute)[0]

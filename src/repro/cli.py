@@ -244,6 +244,16 @@ def cmd_characterize(args: argparse.Namespace) -> int:
     requested = _architecture(args.arch) if args.arch else None
     config = _controller(args)
     channel = _contention(args)
+    model = getattr(args, "model", "auto")
+    if model == "kernel":
+        from .dram.kernel import kernel_ineligibility
+
+        reason = kernel_ineligibility(config, channel)
+        if reason is not None:
+            print(f"warning: model 'kernel' cannot characterize "
+                  f"{reason}; falling back to the simulator",
+                  file=sys.stderr)
+            model = "simulator"
     if args.device == "all":
         devices = list(DEVICE_REGISTRY)
         if requested is not None:
@@ -266,9 +276,19 @@ def cmd_characterize(args: argparse.Namespace) -> int:
             architectures = (requested,)
         else:
             architectures = device.supported_architectures
-        results = characterize_device(
-            device, architectures, controller=config,
-            contention=channel)
+        if model == "analytical":
+            from .dram.characterize import characterize_analytical
+
+            results = {
+                architecture: characterize_analytical(
+                    architecture, device=device, controller=config,
+                    contention=channel)
+                for architecture in architectures
+            }
+        else:
+            results = characterize_device(
+                device, architectures, controller=config,
+                contention=channel, model=model)
         for architecture in architectures:
             result = results[architecture]
             for name, cycles, read_nj, write_nj in result.rows():
@@ -611,6 +631,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="device profile name, or 'all' for every "
                              "registered device (default: "
                              "ddr3-1600-2gb-x8)")
+    p_char.add_argument(
+        "--model", default="auto",
+        choices=("auto", "simulator", "analytical", "kernel"),
+        help="characterization backend: the cycle-level simulator, "
+             "the closed-form analytical model, the vectorized batch "
+             "kernel, or 'auto' (kernel when the configuration is "
+             "eligible, simulator otherwise; the default)")
     add_controller_arguments(p_char)
     add_contention_arguments(p_char)
     add_cache_arguments(p_char)

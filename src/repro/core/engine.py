@@ -359,12 +359,12 @@ def _build_context(
         grids.append(_LayerGrid(
             layer=layer, tilings=admissible, offset=offset))
         offset += per_point * len(admissible)
-    characterizations = {
-        architecture: characterization_cache.get(
-            architecture, device=profile, controller=config,
-            contention=channel)
-        for architecture in architectures
-    }
+    # One batched lookup: cold architectures of a kernel-eligible grid
+    # are characterized in a single amortized kernel pass instead of
+    # one simulator walk each (semantics identical to per-arch get).
+    characterizations = characterization_cache.get_many(
+        architectures, device=profile, controller=config,
+        contention=channel)
     return ExplorationContext(
         layers=tuple(grids),
         architectures=tuple(architectures),

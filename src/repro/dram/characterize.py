@@ -203,8 +203,20 @@ def _marginal_cost(
     long_count: int,
 ) -> tuple:
     org = simulator.organization
-    short = simulator.run(stream(org, kind, short_count))
-    long = simulator.run(stream(org, kind, long_count))
+    if simulator.supports_split_run:
+        # Every stream generator is a pure function of the request
+        # index, so the short stream is a strict prefix of the long
+        # one: a single long walk, accounted once at ``short_count``
+        # and once at the end, replaces two simulator runs.
+        short, long = simulator.run_split(
+            stream(org, kind, long_count), short_count)
+    else:
+        # Reordering schedulers drain their lookahead window
+        # differently at a stream's end, and the crossbar's arbitration
+        # depends on total stream length — the prefix identity does not
+        # hold, so measure with two independent runs.
+        short = simulator.run(stream(org, kind, short_count))
+        long = simulator.run(stream(org, kind, long_count))
     denom = long_count - short_count
     cycles = (long.total_cycles - short.total_cycles) / denom
     energy = (long.total_energy_nj - short.total_energy_nj) / denom
@@ -217,6 +229,10 @@ def _isolated_miss_cost(simulator: DRAMSimulator, kind: RequestKind) -> tuple:
     return float(result.total_cycles), result.total_energy_nj
 
 
+#: Valid ``model=`` arguments of :func:`characterize`.
+CHARACTERIZE_MODELS = ("auto", "simulator", "kernel")
+
+
 def characterize(
     architecture: DRAMArchitecture,
     simulator: DRAMSimulator = None,
@@ -225,6 +241,7 @@ def characterize(
     device: Optional[DeviceProfile] = None,
     controller: Optional[ControllerConfig] = None,
     contention: Optional[ContentionConfig] = None,
+    model: str = "auto",
 ) -> CharacterizationResult:
     """Measure the Fig.-1 per-condition costs for ``architecture``.
 
@@ -258,7 +275,21 @@ def characterize(
         carries per-requestor bandwidth/latency accounting.  When
         ``simulator`` is supplied its own configuration wins and
         ``contention`` must not disagree with it.
+    model:
+        Characterization backend.  ``"auto"`` (default) uses the
+        vectorized numpy kernel (:mod:`repro.dram.kernel`) whenever
+        the configuration is kernel-eligible — default FCFS/open-row
+        controller, refresh off, uncontended — and the object
+        simulator otherwise; the two are exactly equal where both
+        apply (enforced by the differential suite), so the result
+        carries no backend marker.  ``"simulator"`` forces the object
+        simulator; ``"kernel"`` forces the kernel and raises
+        :class:`ConfigurationError` for non-eligible configurations.
     """
+    if model not in CHARACTERIZE_MODELS:
+        raise ConfigurationError(
+            f"unknown characterization model {model!r}; "
+            f"choose one of {', '.join(CHARACTERIZE_MODELS)}")
     if simulator is None:
         profile = resolve_device(device)
         config = resolve_controller(controller)
@@ -282,6 +313,27 @@ def characterize(
         config = simulator.controller
         channel = simulator.contention
         device_name = device.name if device is not None else "custom"
+    if model != "simulator":
+        from .kernel import KernelCharacterizer, kernel_ineligibility
+        reason = kernel_ineligibility(
+            config, channel, simulator.refresh_enabled)
+        if reason is None:
+            engine = KernelCharacterizer(
+                simulator.organization,
+                simulator.timings,
+                simulator.energy_model,
+                include_background=simulator.include_background_energy,
+                device_name=device_name,
+                short_count=short_count,
+                long_count=long_count,
+                controller=config,
+                contention=channel,
+            )
+            return engine.characterize(architecture)
+        if model == "kernel":
+            raise ConfigurationError(
+                f"model 'kernel' cannot characterize {reason}; "
+                "use model='simulator' (or 'auto' to fall back)")
     costs: Dict[AccessCondition, ConditionCost] = {}
     steady_state: List[ServicedRequest] = []
     for condition, stream in _STREAMS.items():
@@ -411,6 +463,7 @@ class CharacterizationCache:
         device: Optional[DeviceProfile] = None,
         controller: Optional[ControllerConfig] = None,
         contention: Optional[ContentionConfig] = None,
+        model: str = "auto",
     ) -> CharacterizationResult:
         """Characterization of ``architecture`` on a device.
 
@@ -425,23 +478,48 @@ class CharacterizationCache:
         silently serve one configuration's costs to another.  Results
         are computed on first use and served from the cache — as the
         *same object* — afterwards.
+
+        ``model`` selects the backend on a miss (see
+        :func:`characterize`).  It is deliberately **not** part of
+        the cache key or the store's spec hash: kernel and simulator
+        results are exactly equal wherever both apply, so a
+        kernel-produced entry is a valid hit for a simulator request
+        and vice versa.
         """
         profile = resolve_device(device, organization)
         profile.require_architecture(architecture)
         config = resolve_controller(controller)
         channel = resolve_contention(contention)
+        return self._get(profile, architecture, config, channel, model)
+
+    def _get(
+        self,
+        profile: DeviceProfile,
+        architecture: DRAMArchitecture,
+        config: ControllerConfig,
+        channel: ContentionConfig,
+        model: str,
+        precomputed: Optional[CharacterizationResult] = None,
+    ) -> CharacterizationResult:
+        """Resolved-parameter lookup; ``precomputed`` skips computing.
+
+        ``precomputed`` is a result the caller already obtained for
+        this exact key (a batch kernel pass or an early store load);
+        it is installed via the ordinary miss path so the hit/miss and
+        per-device counters stay truthful.
+        """
 
         def compute() -> CharacterizationResult:
+            if precomputed is not None:
+                return precomputed
             if self.store is not None:
                 stored = self.store.load(
                     profile, architecture, config, channel)
                 if stored is not None:
                     return stored
-            simulator = DRAMSimulator.from_profile(
-                profile, architecture, controller=config,
-                contention=channel)
             result = characterize(
-                architecture, simulator=simulator, device=profile)
+                architecture, device=profile, controller=config,
+                contention=channel, model=model)
             if self.store is not None:
                 self.store.save(
                     result, profile, architecture, config, channel)
@@ -452,6 +530,74 @@ class CharacterizationCache:
         counters = self._per_device.setdefault(profile.name, [0, 0])
         counters[0 if hit else 1] += 1
         return result
+
+    def get_many(
+        self,
+        architectures,
+        organization: Optional[DRAMOrganization] = None,
+        device: Optional[DeviceProfile] = None,
+        controller: Optional[ControllerConfig] = None,
+        contention: Optional[ContentionConfig] = None,
+        model: str = "auto",
+    ) -> Dict[DRAMArchitecture, CharacterizationResult]:
+        """Characterizations of several architectures on one device.
+
+        Semantically identical to one :meth:`get` per architecture —
+        same keys, same store traffic, same counters — but the
+        architectures that miss both the memo and the store are
+        computed in a single :func:`repro.dram.kernel
+        .characterize_batch` pass when the configuration is
+        kernel-eligible, sharing stream synthesis, classification and
+        the architecture-invariant micro-experiment runs instead of
+        paying per-architecture setup.
+        """
+        profile = resolve_device(device, organization)
+        config = resolve_controller(controller)
+        channel = resolve_contention(contention)
+        architectures = tuple(architectures)
+        for architecture in architectures:
+            profile.require_architecture(architecture)
+        precomputed: Dict[DRAMArchitecture, CharacterizationResult] = {}
+        if model != "simulator":
+            from .kernel import characterize_batch, kernel_supported
+            need = [
+                architecture for architecture in architectures
+                if self._memo.peek(
+                    (profile, architecture, config, channel)) is None
+            ] if kernel_supported(config, channel) else []
+            # Only worth (and only safe to) front-run the per-key miss
+            # path when at least two keys would otherwise compute:
+            # once the store pass runs here, every remaining miss must
+            # also resolve here, or the per-key path would consult the
+            # store a second time and skew its traffic counters.
+            if len(need) > 1:
+                if self.store is not None:
+                    still = []
+                    for architecture in need:
+                        stored = self.store.load(
+                            profile, architecture, config, channel)
+                        if stored is not None:
+                            precomputed[architecture] = stored
+                        else:
+                            still.append(architecture)
+                    need = still
+                if need:
+                    batch = characterize_batch(
+                        [(profile, architecture, config, channel)
+                         for architecture in need])
+                    for architecture in need:
+                        result = batch[
+                            (profile, architecture, config, channel)]
+                        precomputed[architecture] = result
+                        if self.store is not None:
+                            self.store.save(result, profile,
+                                            architecture, config, channel)
+        return {
+            architecture: self._get(
+                profile, architecture, config, channel, model,
+                precomputed=precomputed.get(architecture))
+            for architecture in architectures
+        }
 
 
 #: Process-wide default cache; :func:`characterize_preset`,
@@ -467,17 +613,20 @@ def characterize_cached(
     device: Optional[DeviceProfile] = None,
     controller: Optional[ControllerConfig] = None,
     contention: Optional[ContentionConfig] = None,
+    model: str = "auto",
 ) -> CharacterizationResult:
     """Characterize through the process-wide LRU cache.
 
     Like :func:`characterize` but keyed on ``(profile, architecture,
     controller, contention)`` so repeated requests — e.g. one per
     design point of a sweep — hit the simulator only once per
-    configuration.
+    configuration.  ``model`` selects the backend on a miss; it is
+    not part of the key (kernel and simulator results are exactly
+    interchangeable).
     """
     return DEFAULT_CHARACTERIZATION_CACHE.get(
         architecture, organization, device=device, controller=controller,
-        contention=contention)
+        contention=contention, model=model)
 
 
 def characterize_analytical(
@@ -527,6 +676,7 @@ def characterize_device(
     architectures: Optional[tuple] = None,
     controller: Optional[ControllerConfig] = None,
     contention: Optional[ContentionConfig] = None,
+    model: str = "auto",
 ) -> Dict[DRAMArchitecture, CharacterizationResult]:
     """Cached Fig.-1 characterization of one device.
 
@@ -535,21 +685,22 @@ def characterize_device(
     against that set.  ``controller`` selects the memory-controller
     configuration (default: the paper's FCFS/open-row) and
     ``contention`` the channel contention (default: uncontended).
+    Cold architectures are computed in one batched kernel pass when
+    the configuration is kernel-eligible (see
+    :meth:`CharacterizationCache.get_many`).
     """
     if architectures is None:
         architectures = device.supported_architectures
-    return {
-        arch: DEFAULT_CHARACTERIZATION_CACHE.get(
-            arch, device=device, controller=controller,
-            contention=contention)
-        for arch in architectures
-    }
+    return DEFAULT_CHARACTERIZATION_CACHE.get_many(
+        architectures, device=device, controller=controller,
+        contention=contention, model=model)
 
 
 def characterize_all(
     device: Optional[DeviceProfile] = None,
     controller: Optional[ControllerConfig] = None,
     contention: Optional[ContentionConfig] = None,
+    model: str = "auto",
 ) -> Dict[DRAMArchitecture, CharacterizationResult]:
     """Fig.-1 characterization for every supported architecture.
 
@@ -558,4 +709,5 @@ def characterize_all(
     """
     profile = resolve_device(device)
     return characterize_device(
-        profile, controller=controller, contention=contention)
+        profile, controller=controller, contention=contention,
+        model=model)

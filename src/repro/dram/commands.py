@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional, Sequence
 
 from .address import Coordinate
 
@@ -107,10 +107,17 @@ class ServicedRequest:
 
 @dataclass
 class CommandTrace:
-    """A complete command trace plus completion records."""
+    """A complete command trace plus completion records.
 
-    commands: List[Command]
-    serviced: List[ServicedRequest]
+    ``commands`` and ``serviced`` are immutable snapshots (the
+    controller builds them as tuples, once per ``run``), so a trace
+    stays valid after the controller keeps servicing — the
+    characterization's split-run prefix accounting depends on that.
+    Any :class:`~typing.Sequence` is accepted for hand-built traces.
+    """
+
+    commands: Sequence[Command]
+    serviced: Sequence[ServicedRequest]
     total_cycles: int
 
     @property

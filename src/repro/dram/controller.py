@@ -32,8 +32,9 @@ specific inter-command waits:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from .architecture import (
     ArchitectureBehavior,
@@ -166,8 +167,15 @@ class MemoryController:
             # Stream the request iterator through a bounded window, so
             # memory stays O(reorder_window) on arbitrarily long
             # traces (matching the FCFS path's streaming behaviour).
+            # A deque keeps the dominant removals O(1): FR-FCFS picks
+            # the oldest request (index 0) whenever no row hit is
+            # pending, and a list.pop(0) there made long reordered
+            # traces quadratic-ish.  Removal must preserve arrival
+            # order for the remaining entries — the scheduler's
+            # tie-break is "oldest first" — so a swap-pop would be
+            # wrong; del-by-index handles the (rarer) mid-window hits.
             iterator = iter(requests)
-            window: List[Request] = []
+            window: Deque[Request] = deque()
             exhausted = False
             while True:
                 while not exhausted \
@@ -179,10 +187,15 @@ class MemoryController:
                 if not window:
                     break
                 index = self._scheduler.select(window, self._would_hit)
-                self._service(window.pop(index))
+                if index == 0:
+                    request = window.popleft()
+                else:
+                    request = window[index]
+                    del window[index]
+                self._service(request)
         return CommandTrace(
-            commands=list(self._commands),
-            serviced=list(self._serviced),
+            commands=tuple(self._commands),
+            serviced=tuple(self._serviced),
             total_cycles=self._last_data_end,
         )
 

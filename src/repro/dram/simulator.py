@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
+from ..errors import ConfigurationError
 from .address import Coordinate
 from .architecture import DRAMArchitecture
 from .commands import CommandTrace, Request
@@ -155,6 +156,45 @@ class DRAMSimulator:
         else:
             trace = controller.run(requests)
         return self._account(trace)
+
+    @property
+    def supports_split_run(self) -> bool:
+        """True when :meth:`run_split` is valid for this configuration.
+
+        Prefix accounting requires strictly sequential service: the
+        depth-1 (FCFS) scheduler on an uncontended channel.  A
+        reordering window drains differently at a stream's end, and
+        the crossbar's arbitration depends on the full stream, so for
+        those the prefix of a long run is *not* the short run.
+        """
+        from .policies import get_scheduler
+        return (self.contention.requestors == 1
+                and get_scheduler(self.controller.scheduler)
+                .window_size(self.controller) == 1)
+
+    def run_split(
+        self, requests: List[Request], checkpoint: int,
+    ) -> "tuple[SimulationResult, SimulationResult]":
+        """One controller walk accounted at ``checkpoint`` and the end.
+
+        Returns ``(prefix, full)`` results, each exactly what
+        :meth:`run` would return for ``requests[:checkpoint]`` and
+        ``requests``: the controller keeps cumulative state across
+        ``run`` calls, and under FCFS servicing is strictly
+        sequential, so two back-to-back runs on one fresh controller
+        are indistinguishable from one concatenated run.  The
+        characterization's marginal measurement uses this to halve its
+        simulator work (the short stream is a prefix of the long one).
+        """
+        if not self.supports_split_run:
+            raise ConfigurationError(
+                "run_split requires the depth-1 FCFS scheduler on an "
+                "uncontended channel; use two independent run() calls")
+        requests = list(requests)
+        controller = self._fresh_controller()
+        prefix = self._account(controller.run(requests[:checkpoint]))
+        full = self._account(controller.run(requests[checkpoint:]))
+        return prefix, full
 
     def run_streams(self, streams) -> SimulationResult:
         """Service one explicit request stream per requestor.

@@ -207,6 +207,6 @@ def roundtrip_and_check(commands, architecture, tmp_path,
     path = tmp_path / "commands.trace"
     write_command_trace(path, commands)
     replayed = read_command_trace(path)
-    assert replayed == commands, "command trace round-trip lossy"
+    assert replayed == list(commands), "command trace round-trip lossy"
     TraceChecker(organization, timings, architecture).check(replayed)
     return replayed
