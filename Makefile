@@ -2,17 +2,20 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-devices bench-workloads bench-policies \
-	bench-strategies bench-contention bench-kernel cov cov-core lint
+	bench-strategies bench-contention bench-kernel bench-eval \
+	cov cov-core lint
 
 ## tier-1 verification: the full unit/property/integration/benchmark suite
 test:
 	$(PYTHON) -m pytest -x -q
 
 ## paper-artifact benchmarks only, with pytest-benchmark timings
-## exported to a BENCH_<utc-stamp>.json perf-trajectory file
+## exported to a perf-trajectory file (override the name with
+## BENCH_JSON=..., e.g. the CI baseline BENCH_8.json)
+BENCH_JSON ?= BENCH_$(shell date -u +%Y%m%dT%H%M%SZ).json
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q \
-		--benchmark-json=BENCH_$$(date -u +%Y%m%dT%H%M%SZ).json
+		--benchmark-json=$(BENCH_JSON)
 
 ## cross-device characterization micro-benchmark (device registry)
 bench-devices:
@@ -42,6 +45,12 @@ bench-contention:
 ## calls over the whole device registry), at exact result equality
 bench-kernel:
 	$(PYTHON) -m pytest benchmarks/test_perf_kernel.py -q
+
+## vectorized DSE point-evaluation gates (>=5x vs the scalar per-point
+## loop on the full AlexNet/DDR3 exhaustive grid, funnel end-to-end
+## wall clock within 10% of scalar), at bit-exact result equality
+bench-eval:
+	$(PYTHON) -m pytest benchmarks/test_perf_eval.py -q
 
 ## line-coverage floor for the cycle-level DRAM model (requires
 ## pytest-cov; CI installs it)

@@ -16,6 +16,7 @@ Usage::
                         [--scheduler NAME] [--row-policy NAME]
                         [--requestors N] [--arbiter NAME]
                         [--strategy NAME] [--seed S] [--funnel-topk PCT]
+                        [--eval-model auto|scalar|vector]
     python -m repro traffic --model alexnet [--device NAME] [--batch B]
                             [--bytes-per-element N]
     python -m repro models [--detail] [--model NAME]
@@ -78,6 +79,12 @@ table.
     the closed-form analytical cost model and exactly re-evaluates
     only the top ``--funnel-topk`` percent per layer; ``random`` /
     ``greedy-refine`` are seeded heuristics (``--seed``).
+``--eval-model NAME``
+    Point-evaluation backend.  ``vector`` batches whole grid chunks
+    through the numpy Eq. 2/3 kernel, ``scalar`` keeps the per-point
+    loop, and ``auto`` (default) picks ``vector`` when numpy is
+    importable.  Every backend produces bit-identical EDP floats, so
+    the table output never depends on the choice.
     Non-exhaustive runs are tagged in the table title and followed by
     a one-line evaluation-count summary.
 
@@ -372,7 +379,8 @@ def cmd_dse(args: argparse.Namespace) -> int:
                     else DEFAULT_CHUNK_SIZE),
         strategy=strategy,
         seed=seed,
-        strategy_options=options)
+        strategy_options=options,
+        eval_model=args.eval_model)
     rows = []
     total = 0.0
     evaluated = 0
@@ -543,6 +551,21 @@ def cmd_cache(args: argparse.Namespace) -> int:
     print(format_table(
         ["field", "value"], rows,
         title="On-disk characterization store"))
+    from .core.engine import evaluation_cache_stats
+    from .dram.characterize import DEFAULT_CHARACTERIZATION_CACHE
+
+    memo = DEFAULT_CHARACTERIZATION_CACHE.stats
+    evaluation = evaluation_cache_stats()
+    memory_rows = [
+        ["characterization", str(memo.hits), str(memo.misses),
+         f"{memo.hit_rate:.0%}"],
+        ["evaluation", str(evaluation.hits), str(evaluation.misses),
+         f"{evaluation.hit_rate:.0%}"],
+    ]
+    print()
+    print(format_table(
+        ["cache", "hits", "misses", "hit rate"], memory_rows,
+        title="In-memory caches (this process)"))
     return 0
 
 
@@ -714,6 +737,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="funnel strategy: percentage of each layer's grid "
              "re-evaluated exactly after analytical pruning "
              "(default: 5)")
+    from .core.eval_kernel import EVAL_MODELS
+
+    p_dse.add_argument(
+        "--eval-model", dest="eval_model", default="auto",
+        choices=EVAL_MODELS,
+        help="point-evaluation backend: 'vector' batches whole "
+             "chunks through the numpy Eq. 2/3 kernel, 'scalar' "
+             "keeps the per-point loop, 'auto' (default) vectorizes "
+             "when numpy is available; results are bit-identical "
+             "for every choice")
     p_dse.set_defaults(func=cmd_dse)
 
     p_traffic = subparsers.add_parser(

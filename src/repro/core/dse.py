@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..caching import CacheStats
 from ..cnn.layer import ConvLayer
 from ..cnn.scheduling import ALL_SCHEMES, ReuseScheme
 from ..cnn.tiling import BufferConfig, TABLE2_BUFFERS, TilingConfig
@@ -72,6 +73,13 @@ class DseResult:
     exhaustive strategy ``evaluated_points == total_points`` and
     ``scored_points == 0``.  Records built by pre-strategy callers
     (``DseResult()``) default to exhaustive with zero counts.
+
+    ``eval_cache_stats`` reports the
+    :class:`~repro.core.engine.EvaluationCache` hit/miss counters the
+    exploration caused — the engine's serial-path delta plus every
+    worker's per-chunk deltas — so cache effectiveness is visible per
+    run, not just process-wide (``None`` for records built outside
+    the engine).
     """
 
     points: List[DsePoint] = field(default_factory=list)
@@ -80,6 +88,7 @@ class DseResult:
     total_points: int = 0
     evaluated_points: int = 0
     scored_points: int = 0
+    eval_cache_stats: Optional[CacheStats] = None
 
     @property
     def exact_evaluation_fraction(self) -> float:
@@ -135,12 +144,21 @@ class DseResult:
         self.total_points += other.total_points
         self.evaluated_points += other.evaluated_points
         self.scored_points += other.scored_points
+        if other.eval_cache_stats is not None:
+            mine = self.eval_cache_stats or CacheStats(hits=0, misses=0)
+            self.eval_cache_stats = CacheStats(
+                hits=mine.hits + other.eval_cache_stats.hits,
+                misses=mine.misses + other.eval_cache_stats.misses)
         if self.strategy != other.strategy:
             self.strategy = "mixed"
 
 
-def _engine_for(jobs, chunk_size, engine):
-    """Resolve the execution engine for the explore_* entry points."""
+def _engine_for(jobs, chunk_size, engine, eval_model="auto"):
+    """Resolve the execution engine for the explore_* entry points.
+
+    ``eval_model`` configures the constructed engine's chunk
+    evaluation backend; a pre-built ``engine`` keeps its own setting.
+    """
     from .engine import DEFAULT_CHUNK_SIZE, ExplorationEngine
 
     if engine is not None:
@@ -148,7 +166,8 @@ def _engine_for(jobs, chunk_size, engine):
     return ExplorationEngine(
         jobs=jobs,
         chunk_size=(chunk_size if chunk_size is not None
-                    else DEFAULT_CHUNK_SIZE))
+                    else DEFAULT_CHUNK_SIZE),
+        eval_model=eval_model)
 
 
 def explore_layer(
@@ -162,6 +181,7 @@ def explore_layer(
     jobs: int = 1,
     chunk_size: Optional[int] = None,
     engine=None,
+    eval_model: str = "auto",
     device: Optional[DeviceProfile] = None,
     controller: Optional[ControllerConfig] = None,
     contention: Optional[ContentionConfig] = None,
@@ -183,6 +203,12 @@ def explore_layer(
     engine:
         Pre-built engine to run on (overrides ``jobs``/``chunk_size``);
         reusing one engine across calls shares its evaluation caches.
+    eval_model:
+        Chunk-evaluation backend (``"auto"`` / ``"scalar"`` /
+        ``"vector"``, see
+        :class:`repro.core.engine.ExplorationEngine`); ignored when a
+        pre-built ``engine`` is passed.  Results are bit-for-bit
+        identical across backends.
     device:
         DRAM device profile to explore on (default: the paper's
         Table-II device); every requested architecture must be in its
@@ -202,7 +228,7 @@ def explore_layer(
         seed of its randomized choices, and its constructor options.
         ``None`` uses the engine's default (exhaustive).
     """
-    eng = _engine_for(jobs, chunk_size, engine)
+    eng = _engine_for(jobs, chunk_size, engine, eval_model)
     tilings_seq = None if tilings is None else list(tilings)
     return eng.explore_layer(
         layer, architectures=architectures, schemes=schemes,
@@ -217,6 +243,7 @@ def explore_network(
     jobs: int = 1,
     chunk_size: Optional[int] = None,
     engine=None,
+    eval_model: str = "auto",
     **kwargs,
 ) -> DseResult:
     """Algorithm 1 over all layers of a network.
@@ -230,7 +257,7 @@ def explore_network(
     ``seed`` / ``strategy_options`` select the search strategy as in
     :func:`explore_layer`.
     """
-    eng = _engine_for(jobs, chunk_size, engine)
+    eng = _engine_for(jobs, chunk_size, engine, eval_model)
     return eng.explore_network(layers, **kwargs)
 
 
@@ -239,6 +266,7 @@ def explore_workload(
     jobs: int = 1,
     chunk_size: Optional[int] = None,
     engine=None,
+    eval_model: str = "auto",
     architecture: Optional[DRAMArchitecture] = None,
     scheme: Optional[ReuseScheme] = None,
     **kwargs,
@@ -270,7 +298,7 @@ def explore_workload(
             raise DseError(
                 "pass either scheme= or schemes=, not both")
         kwargs["schemes"] = (scheme,)
-    eng = _engine_for(jobs, chunk_size, engine)
+    eng = _engine_for(jobs, chunk_size, engine, eval_model)
     result = eng.explore_network(workload, **kwargs)
     summary = network_dse_summary(
         workload, result, architecture=architecture, scheme=scheme,

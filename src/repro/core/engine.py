@@ -30,7 +30,12 @@ intermediate per point.  This module is the scalable replacement:
    Pareto front as they arrive, so arbitrarily large sweeps run in
    memory bounded by the front and the reduction keys, not the point
    count.
-5. **Pluggable search** — the engine drives a registered
+5. **Vectorized chunk evaluation** — ``eval_model="auto"`` (default)
+   evaluates eligible chunks as numpy batches through
+   :mod:`repro.core.eval_kernel` (grid decode, Eq. 2/3 counts and the
+   EDP fold all run as array programs), bit-for-bit identical to the
+   scalar reference loop, which ``eval_model="scalar"`` forces.
+6. **Pluggable search** — the engine drives a registered
    :class:`repro.core.strategies.SearchStrategy` (``strategy=`` /
    ``seed=``) instead of hard-coding the grid walk.  The default
    ``exhaustive`` strategy reproduces the full sweep byte-identically;
@@ -68,8 +73,10 @@ from __future__ import annotations
 import bisect
 import itertools
 import os
+import weakref
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
+from functools import partial
 from typing import (
     Callable,
     Dict,
@@ -80,6 +87,7 @@ from typing import (
     Tuple,
 )
 
+from ..caching import CacheStats
 from ..cnn.layer import ConvLayer
 from ..cnn.scheduling import ALL_SCHEMES, ReuseScheme
 from ..cnn.tiling import (
@@ -116,6 +124,11 @@ from ..workloads.network import Network, as_layers
 from .adaptive import resolve_adaptive
 from .dse import DsePoint, DseResult
 from .edp import layer_edp
+from .eval_kernel import (
+    iter_layer_segments,
+    make_chunk_evaluator,
+    validate_eval_model,
+)
 from .pareto import ObjectivePoint, ParetoAccumulator
 from .strategies import StrategyRun, get_strategy
 
@@ -133,6 +146,12 @@ _ADMISSIBLE_TILINGS_MEMO = LRUMemo(4096)
 # ----------------------------------------------------------------------
 # Evaluation memoization
 # ----------------------------------------------------------------------
+
+#: Every live :class:`EvaluationCache` of this process, weakly
+#: referenced — ``repro cache stats`` aggregates their counters
+#: through :func:`evaluation_cache_stats`.
+_LIVE_EVALUATION_CACHES: "weakref.WeakSet" = weakref.WeakSet()
+
 
 class EvaluationCache:
     """Memo for the policy-independent intermediates of the EDP model.
@@ -152,6 +171,21 @@ class EvaluationCache:
         self.traffic_memo = LRUMemo(maxsize)
         self.counts_memo = LRUMemo(maxsize)
         self.adaptive_memo = LRUMemo(maxsize)
+        #: Dense per-layer table sets of the vector kernel
+        #: (:mod:`repro.core.eval_kernel`); few but large entries.
+        self.tables_memo = LRUMemo(128)
+        _LIVE_EVALUATION_CACHES.add(self)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregate hit/miss counters across the memos."""
+        return CacheStats(
+            hits=(self.traffic_memo.hits + self.counts_memo.hits
+                  + self.adaptive_memo.hits + self.tables_memo.hits),
+            misses=(self.traffic_memo.misses + self.counts_memo.misses
+                    + self.adaptive_memo.misses
+                    + self.tables_memo.misses),
+        )
 
     def resolve_scheme(
         self,
@@ -192,6 +226,23 @@ class EvaluationCache:
         self.traffic_memo.clear()
         self.counts_memo.clear()
         self.adaptive_memo.clear()
+        self.tables_memo.clear()
+
+
+def evaluation_cache_stats() -> CacheStats:
+    """Aggregate counters of every live in-process evaluation cache.
+
+    Worker-process caches are not visible here (their per-chunk deltas
+    are folded into :attr:`repro.core.dse.DseResult.eval_cache_stats`
+    instead); this reports the serial-path memos ``repro cache stats``
+    surfaces.
+    """
+    hits = misses = 0
+    for cache in list(_LIVE_EVALUATION_CACHES):
+        stats = cache.stats
+        hits += stats.hits
+        misses += stats.misses
+    return CacheStats(hits=hits, misses=misses)
 
 
 # ----------------------------------------------------------------------
@@ -385,14 +436,21 @@ def _build_context(
 # Shard evaluation (runs inside workers and on the serial path)
 # ----------------------------------------------------------------------
 
-#: Per-process worker state: (context, evaluation cache).
-_WORKER_STATE: Optional[Tuple[ExplorationContext, EvaluationCache]] = None
+#: Per-process worker state: (context, evaluation cache, chunk
+#: evaluator resolved from the engine's ``eval_model``).
+_WORKER_STATE: Optional[Tuple[ExplorationContext, EvaluationCache,
+                              Callable]] = None
 
 
-def _init_worker(context: ExplorationContext) -> None:
+def _init_worker(context: ExplorationContext,
+                 eval_model: str = "scalar") -> None:
     """Pool initializer: install the shared context in this process."""
     global _WORKER_STATE
-    _WORKER_STATE = (context, EvaluationCache())
+    cache = EvaluationCache()
+    evaluator = make_chunk_evaluator(
+        context, cache, eval_model,
+        partial(_evaluate_range, context, cache))
+    _WORKER_STATE = (context, cache, evaluator)
 
 
 def _evaluate_range(
@@ -422,12 +480,24 @@ def _evaluate_range(
     return points
 
 
-def _run_chunk(chunk: Tuple[int, int]) -> Tuple[int, List[DsePoint]]:
-    """Worker entry point: evaluate one ``(start, stop)`` shard."""
+def _run_chunk(
+    chunk: Tuple[int, int],
+) -> Tuple[int, List[DsePoint], Tuple[int, int]]:
+    """Worker entry point: evaluate one ``(start, stop)`` shard.
+
+    Returns ``(start, points, (hit_delta, miss_delta))`` — the
+    evaluation-cache counter deltas this chunk caused, so the parent
+    process can aggregate worker cache activity without sharing
+    memory.
+    """
     assert _WORKER_STATE is not None, "worker initializer did not run"
-    context, cache = _WORKER_STATE
+    _context, cache, evaluator = _WORKER_STATE
     start, stop = chunk
-    return start, _evaluate_range(context, cache, start, stop)
+    before = cache.stats
+    points = evaluator(start, stop)
+    after = cache.stats
+    return start, points, (after.hits - before.hits,
+                           after.misses - before.misses)
 
 
 # ----------------------------------------------------------------------
@@ -572,6 +642,13 @@ class ExplorationEngine:
         ``{"top_fraction": 0.02}`` for ``funnel``); must be omitted
         when ``strategy`` is a pre-built instance (configure the
         instance directly instead).
+    eval_model:
+        Chunk-evaluation backend: ``"auto"`` (default) evaluates
+        eligible chunks with the vectorized kernel of
+        :mod:`repro.core.eval_kernel` and falls back to the scalar
+        loop otherwise, ``"scalar"`` forces the reference per-point
+        loop, ``"vector"`` requires the kernel (numpy).  Results are
+        bit-for-bit identical across all three.
 
     Example
     -------
@@ -591,6 +668,7 @@ class ExplorationEngine:
         strategy="exhaustive",
         seed: Optional[int] = None,
         strategy_options: Optional[Dict] = None,
+        eval_model: str = "auto",
     ) -> None:
         if jobs is None or jobs == 0:
             jobs = os.cpu_count() or 1
@@ -601,6 +679,7 @@ class ExplorationEngine:
                 f"chunk_size must be positive, got {chunk_size}")
         self.jobs = jobs
         self.chunk_size = chunk_size
+        self.eval_model = validate_eval_model(eval_model)
         self.characterization_cache = (
             characterization_cache
             if characterization_cache is not None
@@ -696,15 +775,19 @@ class ExplorationEngine:
             organization, tilings, device, controller, contention,
             strategy, seed, strategy_options)
         shards: Dict[int, List[DsePoint]] = {}
+        serial_before = self.evaluation_cache.stats
         for start, points in shard_iter:
             run.exact_points += len(points)
             shards[start] = points
+        self._account_serial_cache(run, serial_before)
         result = DseResult(
             strategy=run.strategy,
             seed=run.seed,
             total_points=run.total_points,
             evaluated_points=run.exact_points,
             scored_points=run.scored_points,
+            eval_cache_stats=CacheStats(
+                hits=run.cache_hits, misses=run.cache_misses),
         )
         for start in sorted(shards):
             result.points.extend(shards[start])
@@ -739,10 +822,28 @@ class ExplorationEngine:
             organization, tilings, device, controller, contention,
             strategy, seed, strategy_options)
         reduced = ReducedExploration()
+        serial_before = self.evaluation_cache.stats
         for start, points in shard_iter:
             run.exact_points += len(points)
             reduced.absorb(start, points)
+        self._account_serial_cache(run, serial_before)
         return reduced
+
+    def _account_serial_cache(
+        self,
+        run: StrategyRun,
+        before: CacheStats,
+    ) -> None:
+        """Fold this engine cache's delta since ``before`` into ``run``.
+
+        Covers every in-process consumer of ``evaluation_cache`` —
+        the serial chunk path, vector-kernel table builds, the
+        funnel's scoring pass and greedy-refine probes; worker deltas
+        arrive separately through :func:`_run_chunk` results.
+        """
+        after = self.evaluation_cache.stats
+        run.cache_hits += after.hits - before.hits
+        run.cache_misses += after.misses - before.misses
 
     def _start(
         self,
@@ -782,13 +883,27 @@ class ExplorationEngine:
 
     # -- scheduling ----------------------------------------------------
 
-    def _chunks(self, total: int) -> Iterator[Tuple[int, int]]:
-        for start in range(0, total, self.chunk_size):
-            yield start, min(start + self.chunk_size, total)
+    def _chunks(
+        self,
+        context: ExplorationContext,
+    ) -> Iterator[Tuple[int, int]]:
+        """Layer-aligned chunking of the full grid.
+
+        Chunk boundaries snap to the ``points_in_layer`` slices: a
+        chunk never straddles two layers, so the vector kernel
+        evaluates every chunk as one batch instead of splitting it
+        (and re-gathering tables) at each straddle.  Points and their
+        order are unchanged — only the grouping differs.
+        """
+        for _position, seg_start, seg_stop in iter_layer_segments(
+                context, 0, context.total_points):
+            for start in range(seg_start, seg_stop, self.chunk_size):
+                yield start, min(start + self.chunk_size, seg_stop)
 
     def _shard_results(
         self,
         context: ExplorationContext,
+        run: Optional[StrategyRun] = None,
     ) -> Iterator[Tuple[int, List[DsePoint]]]:
         """Yield ``(start, points)`` for the full grid, ticking progress.
 
@@ -796,21 +911,25 @@ class ExplorationEngine:
         order and contents to the pre-strategy engine.
         """
         total = context.total_points
-        total_chunks = -(-total // self.chunk_size) if total else 0
+        total_chunks = sum(
+            -(-context.points_in_layer(position) // self.chunk_size)
+            for position in range(len(context.layers)))
         return self._execute_shards(
-            context, self._chunks(total), total, total_chunks)
+            context, self._chunks(context), total, total_chunks, run)
 
     def _evaluate_selected(
         self,
         context: ExplorationContext,
         indices: Sequence[int],
+        run: Optional[StrategyRun] = None,
     ) -> Iterator[Tuple[int, List[DsePoint]]]:
         """Yield shards covering exactly ``indices`` (sorted, unique).
 
         Consecutive indices coalesce into contiguous ``(start, stop)``
-        ranges, re-split at ``chunk_size``, and run through the same
-        serial / process-pool machinery as the full grid — so subset
-        strategies inherit ``jobs`` parallelism and progress
+        ranges, split at layer boundaries (so the vector kernel gets
+        single-layer batches) and at ``chunk_size``, and run through
+        the same serial / process-pool machinery as the full grid —
+        so subset strategies inherit ``jobs`` parallelism and progress
         streaming (progress totals count the selection, not the
         grid).
         """
@@ -823,12 +942,14 @@ class ExplorationEngine:
                 stop += 1
             start_index = indices[position]
             stop_index = indices[stop - 1] + 1
-            for piece in range(start_index, stop_index, self.chunk_size):
-                shards.append(
-                    (piece, min(piece + self.chunk_size, stop_index)))
+            for _pos, seg_start, seg_stop in iter_layer_segments(
+                    context, start_index, stop_index):
+                for piece in range(seg_start, seg_stop, self.chunk_size):
+                    shards.append(
+                        (piece, min(piece + self.chunk_size, seg_stop)))
             position = stop
         return self._execute_shards(
-            context, iter(shards), len(indices), len(shards))
+            context, iter(shards), len(indices), len(shards), run)
 
     def _execute_shards(
         self,
@@ -836,8 +957,14 @@ class ExplorationEngine:
         shards: Iterator[Tuple[int, int]],
         total_points: int,
         total_chunks: int,
+        run: Optional[StrategyRun] = None,
     ) -> Iterator[Tuple[int, List[DsePoint]]]:
-        """Evaluate ``(start, stop)`` shards, ticking progress."""
+        """Evaluate ``(start, stop)`` shards, ticking progress.
+
+        Worker evaluation-cache deltas are folded into ``run`` (the
+        serial path's cache activity is accounted once per exploration
+        by the explore methods instead).
+        """
         completed_points = 0
         completed_chunks = 0
         best_edp: Optional[float] = None
@@ -859,9 +986,11 @@ class ExplorationEngine:
                 ))
 
         if self.jobs == 1:
+            evaluator = make_chunk_evaluator(
+                context, self.evaluation_cache, self.eval_model,
+                partial(_evaluate_range, context, self.evaluation_cache))
             for start, stop in shards:
-                points = _evaluate_range(
-                    context, self.evaluation_cache, start, stop)
+                points = evaluator(start, stop)
                 tick(points)
                 yield start, points
             return
@@ -872,7 +1001,7 @@ class ExplorationEngine:
         with ProcessPoolExecutor(
                 max_workers=self.jobs,
                 initializer=_init_worker,
-                initargs=(context,)) as pool:
+                initargs=(context, self.eval_model)) as pool:
             pending = set()
             window = self.jobs * 4
             for chunk in itertools.islice(shards, window):
@@ -880,7 +1009,10 @@ class ExplorationEngine:
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    start, points = future.result()
+                    start, points, cache_delta = future.result()
+                    if run is not None:
+                        run.cache_hits += cache_delta[0]
+                        run.cache_misses += cache_delta[1]
                     tick(points)
                     yield start, points
                 for chunk in itertools.islice(shards, len(done)):
@@ -892,7 +1024,9 @@ class ExplorationEngine:
         Returns ``evaluate(index) -> DsePoint`` with an ``evaluate.cache``
         dict of every point evaluated so far — the probe primitive of
         adaptive strategies (``greedy-refine``), which evaluate points
-        one at a time as the search unfolds.
+        one at a time as the search unfolds.  Single-point probes stay
+        on the scalar path regardless of ``eval_model`` (a one-point
+        batch would pay the kernel's table gather for nothing).
         """
         cache: Dict[int, DsePoint] = {}
 

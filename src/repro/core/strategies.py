@@ -95,6 +95,11 @@ class StrategyRun:
     exact_points: int = 0
     #: Analytical-model scorings (filled by the funnel strategy).
     scored_points: int = 0
+    #: Evaluation-cache hits/misses this run caused (serial-path delta
+    #: plus per-chunk worker deltas; copied onto
+    #: :attr:`~repro.core.dse.DseResult.eval_cache_stats`).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 class SearchStrategy:
@@ -132,7 +137,7 @@ class ExhaustiveStrategy(SearchStrategy):
                "pre-strategy engine (the default)")
 
     def shards(self, engine, context, run):
-        return engine._shard_results(context)
+        return engine._shard_results(context, run)
 
 
 class RandomStrategy(SearchStrategy):
@@ -159,7 +164,7 @@ class RandomStrategy(SearchStrategy):
         count = max(math.ceil(total * self.fraction),
                     min(MIN_SAMPLE_POINTS, total))
         indices = sorted(self._rng(run).sample(range(total), count))
-        return engine._evaluate_selected(context, indices)
+        return engine._evaluate_selected(context, indices, run)
 
 
 class GreedyRefineStrategy(SearchStrategy):
@@ -258,7 +263,9 @@ class FunnelStrategy(SearchStrategy):
         self.top_fraction = top_fraction
 
     def shards(self, engine, context, run):
-        scores = analytical_scores(context, engine.evaluation_cache)
+        scores = analytical_scores(
+            context, engine.evaluation_cache,
+            eval_model=getattr(engine, "eval_model", "auto"))
         run.scored_points = len(scores)
         indices: List[int] = []
         for position, grid in enumerate(context.layers):
@@ -274,14 +281,15 @@ class FunnelStrategy(SearchStrategy):
                 ranked = sorted(block_range,
                                 key=lambda i: (scores[i], i))
                 indices.extend(ranked[:keep])
-        return engine._evaluate_selected(context, sorted(indices))
+        return engine._evaluate_selected(context, sorted(indices), run)
 
 
 # ----------------------------------------------------------------------
 # Analytical scoring of a whole context
 # ----------------------------------------------------------------------
 
-def analytical_scores(context, cache) -> List[float]:
+def analytical_scores(context, cache,
+                      eval_model: str = "auto") -> List[float]:
     """Closed-form EDP score of every grid point, in grid order.
 
     Scores share the exact evaluation's structure — per-data-type
@@ -294,7 +302,19 @@ def analytical_scores(context, cache) -> List[float]:
     ``cache`` is an :class:`repro.core.engine.EvaluationCache`; the
     traffic / adaptive-scheme / transition-count memos it fills here
     are the same ones the exact phase reuses afterwards.
+
+    ``eval_model`` mirrors the engine knob: unless ``"scalar"``, the
+    whole pass runs through the batched kernel
+    (:func:`repro.core.eval_kernel.batch_scores`) — so the funnel's
+    prune and verify phases both go wide — with the scalar loop below
+    as the bit-identical fallback.
     """
+    if eval_model != "scalar":
+        from .eval_kernel import batch_scores
+
+        batched = batch_scores(context, cache)
+        if batched is not None:
+            return batched
     from ..dram.analytical import analytical_characterization
 
     characterizations = {

@@ -118,6 +118,25 @@ class CharacterizationResult:
         """Cost of ``condition``."""
         return self.costs[condition]
 
+    def cost_vectors(
+        self,
+    ) -> Dict[AccessCondition, Tuple[float, float, float]]:
+        """Per-condition ``(cycles, read nJ, write nJ)`` cost triples.
+
+        The flat-float view batch evaluators gather from
+        (:mod:`repro.core.eval_kernel`): one dict lookup per condition
+        replaces three attribute chains, and the floats are exactly
+        the ones :meth:`cost` exposes — no rounding, no reordering —
+        so any arithmetic built on them can match the scalar model
+        bit for bit.  Works for simulator-measured and analytical
+        characterizations alike (both produce this result type).
+        """
+        return {
+            condition: (cost.cycles, cost.read_energy_nj,
+                        cost.write_energy_nj)
+            for condition, cost in self.costs.items()
+        }
+
     def rows(self) -> List[tuple]:
         """(condition, cycles, read nJ, write nJ) rows for reporting."""
         return [

@@ -171,3 +171,58 @@ def count_transitions(
     counts = TransitionCounts(by_dim=by_dim, initial=1, total=n_accesses)
     counts.check_conservation()
     return counts
+
+
+def count_transitions_batch(
+    policy: MappingPolicy,
+    organization: DRAMOrganization,
+    lengths,
+):
+    """Vectorized :func:`count_transitions` for many ``start=0`` runs.
+
+    ``lengths`` is a sequence (or 1-D integer array) of positive run
+    lengths.  Returns an ``int64`` matrix of shape
+    ``(len(policy.full_order), len(lengths))``: row ``i`` holds, for
+    every run length, the number of accesses whose outermost changed
+    loop is ``policy.full_order[i]`` — the same per-dimension counts
+    the scalar path stores in :attr:`TransitionCounts.by_dim`
+    (``initial`` is always 1 and ``total`` the length itself).
+
+    The whole batch is pure broadcast integer arithmetic
+    (``last // S_i - last // (S_i * size_i)`` per dimension), and the
+    conservation invariant — every access classified exactly once —
+    is checked across the batch before returning.  Requires numpy.
+    """
+    import numpy as np
+
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.ndim != 1:
+        raise ValueError(
+            f"lengths must be one-dimensional, got shape {lengths.shape}")
+    if lengths.size and int(lengths.min()) <= 0:
+        raise ValueError("all run lengths must be positive")
+    capacity = policy.capacity(organization)
+    if lengths.size and int(lengths.max()) > capacity:
+        raise CapacityError(
+            f"run of {int(lengths.max())} accesses exceeds DRAM "
+            f"capacity of {capacity} accesses")
+
+    strides = policy.strides(organization)
+    sizes = policy.sizes(organization)
+    last = lengths - 1
+    counts = np.empty((len(policy.full_order), lengths.size),
+                      dtype=np.int64)
+    for position in range(len(policy.full_order)):
+        stride = strides[position]
+        outer_stride = stride * sizes[position]
+        counts[position] = last // stride - last // outer_stride
+    # Conservation (vectorized): per-dimension counts plus the initial
+    # access must classify every access of every run exactly once.
+    if lengths.size:
+        classified = counts.sum(axis=0) + 1
+        if not np.array_equal(classified, lengths):
+            bad = int(np.argmax(classified != lengths))
+            raise AssertionError(
+                f"classified {int(classified[bad])} accesses out of "
+                f"{int(lengths[bad])}")
+    return counts

@@ -81,6 +81,50 @@ class TestReducedMergeDeterminism:
         assert _reduced_snapshot(parallel) == _reduced_snapshot(serial)
 
 
+class TestVectorBackendStreaming:
+    """The vector backend must leave every streaming invariant intact."""
+
+    def test_parallel_vector_equals_serial_scalar(self, two_conv_layers):
+        scalar = ExplorationEngine(jobs=1, eval_model="scalar") \
+            .explore_reduced(two_conv_layers)
+        vector = ExplorationEngine(jobs=2, chunk_size=157,
+                                   eval_model="vector") \
+            .explore_reduced(two_conv_layers)
+        assert _reduced_snapshot(vector) == _reduced_snapshot(scalar)
+
+    def test_vector_chunk_size_invariance(self, tiny_layer):
+        wide = ExplorationEngine(jobs=2, chunk_size=1000,
+                                 eval_model="vector") \
+            .explore_reduced([tiny_layer])
+        narrow = ExplorationEngine(jobs=2, chunk_size=5,
+                                   eval_model="vector") \
+            .explore_reduced([tiny_layer])
+        assert _reduced_snapshot(wide) == _reduced_snapshot(narrow)
+
+    def test_vector_pareto_front_bitwise_equal(self, two_conv_layers):
+        scalar = ExplorationEngine(jobs=1, eval_model="scalar") \
+            .explore_reduced(two_conv_layers)
+        vector = ExplorationEngine(jobs=2, chunk_size=61,
+                                   eval_model="vector") \
+            .explore_reduced(two_conv_layers)
+        scalar_front = scalar.pareto.front()
+        vector_front = vector.pareto.front()
+        assert len(vector_front) == len(scalar_front)
+        for ours, theirs in zip(vector_front, scalar_front):
+            assert ours.energy_nj.hex() == theirs.energy_nj.hex()
+            assert ours.latency_ns.hex() == theirs.latency_ns.hex()
+
+    def test_vector_progress_accounting_is_exact(self, tiny_layer):
+        snapshots = []
+        engine = ExplorationEngine(jobs=2, chunk_size=10,
+                                   eval_model="vector",
+                                   progress=snapshots.append)
+        result = engine.explore_network([tiny_layer])
+        expected_chunks = -(-result.total_points // 10)
+        assert len(snapshots) == expected_chunks
+        assert snapshots[-1].completed_points == result.total_points
+
+
 class TestProgressUnderParallelism:
     """Chunk accounting must be exact with a worker pool."""
 

@@ -125,6 +125,21 @@ class TestDse:
         assert code == 0
         assert "ddr4-2400" in out
 
+    def test_eval_model_outputs_identical(self, capsys):
+        outputs = {}
+        for eval_model in ("scalar", "vector", "auto"):
+            code, out = run_cli(capsys, "dse", "--model", "lenet5",
+                                "--layer", "C1",
+                                "--eval-model", eval_model)
+            assert code == 0
+            outputs[eval_model] = out
+        assert outputs["scalar"] == outputs["vector"] == outputs["auto"]
+
+    def test_eval_model_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["dse", "--model", "lenet5", "--eval-model", "gpu"])
+        assert "--eval-model" in capsys.readouterr().err
+
 
 class TestTraffic:
     def test_traffic_table(self, capsys):
@@ -369,6 +384,16 @@ class TestDiskCache:
                             "--cache-dir", cache_dir)
         assert code == 0
         assert "removed 1" in out
+
+    def test_cache_stats_reports_in_memory_caches(self, capsys, tmp_path,
+                                                  cold_memory_cache):
+        code, out = run_cli(capsys, "cache", "stats",
+                            "--cache-dir", str(tmp_path / "store"))
+        assert code == 0
+        assert "In-memory caches" in out
+        assert "characterization" in out
+        assert "evaluation" in out
+        assert "hit rate" in out
 
     def test_warm_start_output_identical(self, capsys, tmp_path,
                                          cold_memory_cache):
